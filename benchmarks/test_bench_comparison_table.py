@@ -1,0 +1,49 @@
+"""Experiment E2: Awake-MIS vs the O(log n) baselines (Theorem 13 context).
+
+Regenerates the awake/round comparison table between Awake-MIS, Luby and the
+parallel rank-greedy baseline, and reports which growth law each algorithm's
+awake complexity follows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import experiment_e2
+from repro.experiments.sweeps import run_sweep
+from repro.experiments.tables import format_table
+
+
+def test_bench_e2_comparison_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e2, args=(repro_scale,), kwargs={"seed": 2},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+def test_bench_e2_node_averaged_awake(benchmark):
+    """The node-averaged awake comparison (the measure of [16] / [26])."""
+    def run():
+        return run_sweep(
+            algorithms=["awake_mis", "luby"],
+            sizes=[64, 128],
+            families=("gnp",),
+            repetitions=1,
+            seed=3,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "algorithm": row["algorithm"],
+            "n": row["n"],
+            "node_averaged_awake": row["avg_awake_mean"],
+            "awake_max": row["awake_max"],
+            "rounds": row["rounds_mean"],
+        }
+        for row in sweep.rows()
+    ]
+    print()
+    print(format_table(rows, title="E2: node-averaged awake complexity"))
+    assert sweep.all_verified

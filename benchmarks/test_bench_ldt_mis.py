@@ -1,0 +1,46 @@
+"""Experiment E5 (Lemma 11 / Corollary 12): LDT-MIS on small components.
+
+Regenerates the awake-complexity profile of LDT-MIS as the component size
+n' grows, which is the regime Awake-MIS uses it in (n' = O(log n)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.common import mis_from_result
+from repro.algorithms.ldt_mis import run_ldt_mis
+from repro.core.mis import is_maximal_independent_set
+from repro.experiments.registry import experiment_e5
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+
+def test_bench_e5_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e5, args=("smoke" if repro_scale == "smoke" else "default",),
+        kwargs={"seed": 5}, rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+@pytest.mark.parametrize("n_prime", [4, 8, 16, 32, 64])
+def test_bench_e5_component_size_profile(benchmark, n_prime):
+    """Awake complexity of LDT-MIS as a function of the component size n'."""
+    graph = generators.gnp_graph(n_prime, expected_degree=4, seed=n_prime)
+
+    def run():
+        return run_ldt_mis(graph, seed=9)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    mis = mis_from_result(result)
+    assert is_maximal_independent_set(graph, mis)
+    print()
+    print(format_table([{
+        "n_prime": n_prime,
+        "awake_complexity": result.metrics.awake_complexity,
+        "round_complexity": result.metrics.round_complexity,
+        "mis_size": len(mis),
+    }], title=f"E5 data point (n'={n_prime})"))

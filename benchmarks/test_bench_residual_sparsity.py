@@ -1,0 +1,35 @@
+"""Experiment E6 (Lemma 2): residual sparsity of randomized greedy MIS.
+
+Regenerates the residual-max-degree vs prefix-size table and checks every
+point against the lemma's (t'/t) ln(n/eps) bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.residual import run_residual_experiment
+from repro.experiments.registry import experiment_e6
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+
+def test_bench_e6_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e6, args=(repro_scale,), kwargs={"seed": 6},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+def test_bench_e6_dense_graph(benchmark):
+    """Lemma 2 on a denser graph, where the residual reduction is dramatic."""
+    graph = generators.gnp_graph(1024, expected_degree=64, seed=7)
+
+    def run():
+        return run_residual_experiment(graph, trials=2, seed=8)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(result.rows(), title="E6: dense G(n, 64/n)"))
+    assert result.all_within_bound

@@ -1,0 +1,52 @@
+"""Experiment E3 (Corollary 14): the round-efficient Awake-MIS variant.
+
+Regenerates the awake/round trade-off table for the ``variant="round"``
+configuration and compares it against the default variant on the same
+graphs.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.awake_mis import run_awake_mis
+from repro.algorithms.common import mis_from_result
+from repro.core.mis import is_maximal_independent_set
+from repro.experiments.registry import experiment_e3
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+
+def test_bench_e3_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e3, args=(repro_scale,), kwargs={"seed": 3},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+def test_bench_e3_variant_side_by_side(benchmark):
+    """Both variants on the same graph: same output quality, comparable cost."""
+    graph = generators.gnp_graph(128, expected_degree=8, seed=5)
+
+    def run_both():
+        return (
+            run_awake_mis(graph, seed=7, variant="awake"),
+            run_awake_mis(graph, seed=7, variant="round"),
+        )
+
+    awake_variant, round_variant = benchmark.pedantic(run_both, rounds=1,
+                                                      iterations=1)
+    rows = []
+    for name, result in (("Theorem 13 (awake)", awake_variant),
+                         ("Corollary 14 (round)", round_variant)):
+        mis = mis_from_result(result)
+        assert is_maximal_independent_set(graph, mis)
+        rows.append({
+            "variant": name,
+            "awake_complexity": result.metrics.awake_complexity,
+            "round_complexity": result.metrics.round_complexity,
+            "mis_size": len(mis),
+        })
+    print()
+    print(format_table(rows, title="E3: Awake-MIS variants (n=128)"))

@@ -1,0 +1,42 @@
+"""Experiment E7 (Lemma 3): shattering by a random 2*Delta partition.
+
+Regenerates the largest-component vs maximum-degree table, plus the negative
+control showing that an under-sized partition does *not* shatter.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.components import undersized_partition_failure
+from repro.experiments.registry import experiment_e7
+from repro.experiments.tables import format_table
+
+
+def test_bench_e7_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e7, args=(repro_scale,), kwargs={"seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+def test_bench_e7_negative_control(benchmark):
+    """Partitioning into 2 classes instead of 2*Delta leaves a giant component."""
+    def run():
+        return undersized_partition_failure(n=1024, degree=16, classes=2,
+                                            trials=2, seed=8)
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "classes": m.classes,
+            "largest_component": m.largest_component,
+            "lemma3_bound": round(m.lemma_bound, 1),
+            "shattered": m.within_bound,
+        }
+        for m in measurements
+    ]
+    print()
+    print(format_table(rows, title="E7 negative control (2 classes only)"))
+    assert any(not m.within_bound for m in measurements)

@@ -1,0 +1,44 @@
+"""Experiment E8 (Figures 1 and 2): the virtual-binary-tree worked example.
+
+Regenerates the B([1,6]) example of the paper's figures and benchmarks the
+communication-set computation itself (it is on the hot path of VT-MIS and of
+Awake-MIS's phase scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.core.virtual_tree import VirtualTree, communication_set, figure_example
+from repro.experiments.registry import experiment_e8
+from repro.experiments.tables import format_table
+
+
+def test_bench_e8_report(benchmark):
+    report = benchmark.pedantic(experiment_e8, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.passed
+
+
+def test_bench_e8_figure_example(benchmark):
+    example = benchmark(figure_example)
+    assert example["S_3"] == [3, 4, 5]
+    assert example["S_5"] == [5, 6]
+    print()
+    rows = [{"quantity": k, "value": v} for k, v in example.items()]
+    print(format_table(rows, title="E8: Figure 1/2 regenerated"))
+
+
+def test_bench_e8_communication_set_throughput(benchmark):
+    """Micro-benchmark: computing S_k([1, 4096]) for a random k."""
+    def compute():
+        return communication_set(1234, 4096)
+
+    result = benchmark(compute)
+    assert 1234 in result
+
+
+def test_bench_e8_full_tree_build(benchmark):
+    """Building every communication set of a 1024-step schedule."""
+    tree = benchmark.pedantic(VirtualTree.build, args=(1024,), rounds=1,
+                              iterations=1)
+    assert tree.max_awake_rounds() <= 11

@@ -1,0 +1,52 @@
+"""Experiment E4 (Lemma 10): VT-MIS vs the naive distributed greedy.
+
+Regenerates the exponential awake-complexity separation between VT-MIS
+(O(log I) awake) and the naive implementation (Theta(I) awake) while both
+compute the same LFMIS in O(I) rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_mis
+from repro.experiments.registry import experiment_e4
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+
+def test_bench_e4_report(benchmark, repro_scale):
+    report = benchmark.pedantic(
+        experiment_e4, args=(repro_scale,), kwargs={"seed": 4},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed
+
+
+@pytest.mark.parametrize("id_bound_factor", [1, 4, 16])
+def test_bench_e4_id_space_dependence(benchmark, id_bound_factor):
+    """Lemma 10's awake bound is O(log I): grow I, watch the gap widen."""
+    graph = generators.gnp_graph(96, expected_degree=6, seed=6)
+    n = graph.number_of_nodes()
+    id_bound = n * id_bound_factor
+    import random
+
+    labels = list(graph.nodes)
+    random.Random(1).shuffle(labels)
+    ids = {label: {"id": 1 + index * id_bound_factor}
+           for index, label in enumerate(labels)}
+
+    def run():
+        return run_mis(graph, algorithm="vt_mis", seed=2,
+                       id_bound=id_bound, local_inputs=ids)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.verified
+    print()
+    print(format_table([{
+        "id_bound": id_bound,
+        "vt_mis_awake": result.metrics.awake_complexity,
+        "vt_mis_rounds": result.metrics.round_complexity,
+    }], title="E4: VT-MIS awake complexity vs ID bound"))

@@ -1,0 +1,57 @@
+"""Quickstart: run the paper's Awake-MIS on a random graph and inspect it.
+
+Usage::
+
+    python examples/quickstart.py [n] [seed]
+
+The script builds a sparse Erdős–Rényi graph, runs Awake-MIS (Theorem 13 of
+the paper) through the SLEEPING-CONGEST simulator, verifies the output is a
+maximal independent set, and prints the two complexity measures the paper is
+about — awake complexity and round complexity — next to the classical Luby
+baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_mis
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    graph = generators.gnp_graph(n, expected_degree=8, seed=seed)
+    print(f"graph: G(n={n}, expected degree 8), "
+          f"{graph.number_of_edges()} edges\n")
+
+    rows = []
+    for algorithm in ("awake_mis", "luby"):
+        result = run_mis(graph, algorithm=algorithm, seed=seed)
+        rows.append({
+            "algorithm": algorithm,
+            "MIS size": len(result.mis),
+            "verified": result.verified,
+            "awake complexity": result.metrics.awake_complexity,
+            "avg awake": round(result.metrics.node_averaged_awake, 2),
+            "round complexity": result.metrics.round_complexity,
+            "wall time (s)": round(result.wall_time_seconds, 3),
+        })
+        if not result.verified:
+            print(f"ERROR: {algorithm} produced an invalid MIS")
+            return 1
+
+    print(format_table(rows, title="Awake-MIS (Theorem 13) vs Luby's algorithm"))
+    print(
+        "\nAwake-MIS sleeps through almost every round: its round complexity\n"
+        "is enormous but each node is awake only a handful of times, whereas\n"
+        "Luby keeps every undecided node awake in every round."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Energy-efficient clustering of a wireless sensor network.
+
+The sleeping model is motivated by battery-powered wireless and sensor
+networks (paper Section 1.2): radios burn energy while awake — even when
+idle-listening — and barely any while asleep.  Computing an MIS is the
+classic way to elect cluster heads: MIS nodes become heads, every other
+sensor is adjacent to a head.
+
+This example models a sensor field as a random geometric graph, elects
+cluster heads with Awake-MIS, and converts awake rounds into an energy
+estimate, comparing against Luby's algorithm.  The absolute numbers use a
+simple radio model (awake round = 1 unit, asleep round = 0.001 unit) — the
+point is the relative ordering of total *awake* time.
+
+Usage::
+
+    python examples/sensor_network.py [n_sensors] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_mis
+from repro.experiments.tables import format_table
+from repro.graphs import generators
+
+#: Energy per awake round and per sleeping round (arbitrary units), in line
+#: with measurements that idle listening costs almost as much as receiving
+#: while sleeping costs orders of magnitude less.
+ENERGY_AWAKE = 1.0
+ENERGY_ASLEEP = 0.001
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    field = generators.random_geometric(n, seed=seed, expected_degree=10)
+    print(f"sensor field: {n} sensors, {field.number_of_edges()} radio links\n")
+
+    rows = []
+    for algorithm in ("awake_mis", "luby", "rank_greedy"):
+        result = run_mis(field, algorithm=algorithm, seed=seed)
+        heads = len(result.mis)
+        total_rounds = result.metrics.round_complexity
+        # Per-node energy: awake rounds cost ENERGY_AWAKE; the remaining
+        # rounds until that node terminated are (at worst) sleeping rounds.
+        worst_awake = result.metrics.awake_complexity
+        avg_awake = result.metrics.node_averaged_awake
+        rows.append({
+            "algorithm": algorithm,
+            "cluster heads": heads,
+            "verified": result.verified,
+            "worst-case awake rounds": worst_awake,
+            "avg awake rounds": round(avg_awake, 2),
+            "worst-case awake energy": round(worst_awake * ENERGY_AWAKE, 2),
+            "avg energy (awake+sleep)": round(
+                avg_awake * ENERGY_AWAKE
+                + max(0, total_rounds - avg_awake) * ENERGY_ASLEEP, 2,
+            ),
+        })
+
+    print(format_table(rows, title="Cluster-head election on a sensor field"))
+    print(
+        "\nThe awake-energy column is what the battery actually pays for the\n"
+        "radio: the sleeping-model algorithm keeps it nearly flat as the\n"
+        "network grows, while round-driven algorithms scale with log n."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

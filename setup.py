@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools/pip are too old for PEP 660 editable installs (e.g. offline
+machines without the ``wheel`` package).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,257 @@
+"""Algorithm ``Awake-MIS`` (paper Section 6, Algorithm 1, Theorem 13).
+
+``Awake-MIS`` computes the lexicographically-first MIS with respect to a
+uniformly random node ordering in ``O(log log n)`` awake rounds:
+
+1.  every node independently picks a batch ``(i, j)``: the *group* ``i`` with
+    probability proportional to ``2^i`` (so group sizes grow geometrically
+    and the residual-sparsity Lemma 2 keeps the undecided subgraph sparse)
+    and the *slot* ``j`` uniformly among ``2 * Delta'`` slots (so Lemma 3
+    shatters each slot into ``O(log n)``-sized components);
+2.  batches are processed in lexicographic order, one *phase* per batch; the
+    first round of each phase is a communication round in which decided
+    nodes report their state and undecided nodes listen — nodes attend only
+    the communication rounds of their virtual-tree communication set
+    ``S_g(batch)``, i.e. ``O(log log n)`` of them;
+3.  the remaining rounds of a node's own phase run ``LDT-MIS`` over the
+    still-undecided nodes of its batch, whose connected components are
+    ``O(log n)``-sized w.h.p., so this also costs ``O(log log n)``-ish awake
+    rounds (``O(log log n · log* n)`` with the Appendix-A construction, i.e.
+    Corollary 14 — see DESIGN.md §2.4).
+
+The constants of the paper's analysis (``Delta' = 9 ln(n^4)``, phase length
+``O(log^5 n log log n)``) are exposed as :class:`AwakeMISParameters`; the
+default ``scaled`` preset uses smaller constants that preserve the w.h.p.
+guarantees at simulable scales, and the ``paper`` preset reproduces the
+analysis constants verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.algorithms.common import IN_MIS, MISDecision, NOT_IN_MIS, UNDECIDED
+from repro.algorithms.ldt_mis import ldt_mis_core, ldt_mis_round_budget
+from repro.core.virtual_tree import communication_set
+from repro.rng import SeedLike
+from repro.sim.actions import WakeCall
+from repro.sim.context import NodeContext
+from repro.sim.runner import RunResult, run_protocol
+
+
+@dataclass(frozen=True)
+class AwakeMISParameters:
+    """All knobs of ``Awake-MIS`` (paper Section 6).
+
+    Attributes
+    ----------
+    n:
+        Number of nodes (or the polynomial upper bound ``N`` every node
+        knows; the algorithm only uses it through the derived fields).
+    ell:
+        Number of geometric groups (the paper's ``l``).
+    delta_prime:
+        Half the number of slots per group (the paper's ``Delta'``); each
+        group is split into ``2 * delta_prime`` batches.
+    group_probabilities:
+        ``group_probabilities[i - 1]`` is the probability a node joins group
+        ``i``; sums to 1.
+    n_bound:
+        Upper bound (known to all nodes) on the size of any connected
+        component handed to ``LDT-MIS`` — Lemma 3's ``6 ln(n / eps)``.
+    id_space:
+        Node IDs are drawn uniformly from ``[1, id_space]``.
+    phase_length:
+        Rounds per phase: one communication round plus the LDT-MIS budget.
+    variant:
+        ``"awake"`` (Theorem 13 flavour) or ``"round"`` (Corollary 14
+        flavour); both currently share the Appendix-A LDT construction.
+    """
+
+    n: int
+    ell: int
+    delta_prime: int
+    group_probabilities: Tuple[float, ...]
+    n_bound: int
+    id_space: int
+    phase_length: int
+    variant: str = "awake"
+    preset: str = "scaled"
+
+    @property
+    def batch_count(self) -> int:
+        """Total number of batches/phases ``ell * 2 * delta_prime``."""
+        return self.ell * 2 * self.delta_prime
+
+    @property
+    def total_rounds(self) -> int:
+        """Worst-case round complexity of the schedule."""
+        return self.batch_count * self.phase_length
+
+    @classmethod
+    def scaled(cls, n: int, variant: str = "awake") -> "AwakeMISParameters":
+        """Constants sized for simulation while keeping the w.h.p. structure.
+
+        * group probabilities proportional to ``4 * 2^i * log2(n) / n``;
+        * ``Delta' = ceil(6 * log2 n)`` so the expected number of same-batch
+          undecided neighbours stays below ~2/3;
+        * ``n_bound = ceil(6 * ln(16 n))`` (Lemma 3 with eps = 1/16).
+        """
+        n = max(2, n)
+        log2n = max(1.0, math.log2(n))
+        ell = max(1, int(math.floor(math.log2(max(2.0, n / (4.0 * log2n))))))
+        delta_prime = max(3, math.ceil(6 * log2n))
+        weights = [4.0 * (2 ** i) * log2n / n for i in range(1, ell)]
+        head = sum(weights)
+        if head >= 1.0 and weights:
+            weights = [w / (head + 1e-9) * 0.5 for w in weights]
+            head = sum(weights)
+        probabilities = tuple(weights + [max(0.0, 1.0 - head)])
+        n_bound = max(8, math.ceil(6.0 * math.log(16.0 * n)))
+        id_space = max(64, (n + 2) ** 3)
+        phase_length = 1 + ldt_mis_round_budget(n_bound, id_space) + 4
+        return cls(
+            n=n,
+            ell=ell,
+            delta_prime=delta_prime,
+            group_probabilities=probabilities,
+            n_bound=n_bound,
+            id_space=id_space,
+            phase_length=phase_length,
+            variant=variant,
+            preset="scaled",
+        )
+
+    @classmethod
+    def paper(cls, n: int, variant: str = "awake") -> "AwakeMISParameters":
+        """The analysis constants of Section 6 (huge; reference only).
+
+        ``Delta' = ceil(9 ln(n^4))``, ``ell = ceil(log2 n - log2 log2 n)``,
+        group probabilities ``10 * 2^i * log2(n) / n`` (truncated to a valid
+        distribution), ``n_bound = ceil(6 ln(n^4))``.
+        """
+        n = max(4, n)
+        log2n = max(1.0, math.log2(n))
+        ell = max(1, math.ceil(log2n - math.log2(log2n)))
+        delta_prime = max(3, math.ceil(9.0 * math.log(float(n) ** 4)))
+        weights = []
+        cumulative = 0.0
+        for i in range(1, ell):
+            w = min(max(0.0, 1.0 - cumulative), 10.0 * (2 ** i) * log2n / n)
+            weights.append(w)
+            cumulative += w
+        probabilities = tuple(weights + [max(0.0, 1.0 - cumulative)])
+        n_bound = max(8, math.ceil(6.0 * math.log(float(n) ** 4)))
+        id_space = max(64, (n + 2) ** 3)
+        phase_length = 1 + ldt_mis_round_budget(n_bound, id_space) + 4
+        return cls(
+            n=n,
+            ell=ell,
+            delta_prime=delta_prime,
+            group_probabilities=probabilities,
+            n_bound=n_bound,
+            id_space=id_space,
+            phase_length=phase_length,
+            variant=variant,
+            preset="paper",
+        )
+
+
+def choose_batch(rng, params: AwakeMISParameters) -> Tuple[int, int]:
+    """Pick the batch pair ``(i, j)`` with the paper's distribution."""
+    draw = rng.random()
+    cumulative = 0.0
+    group = params.ell
+    for index, probability in enumerate(params.group_probabilities, start=1):
+        cumulative += probability
+        if draw < cumulative:
+            group = index
+            break
+    slot = rng.randint(1, 2 * params.delta_prime)
+    return group, slot
+
+
+def batch_index(group: int, slot: int, params: AwakeMISParameters) -> int:
+    """The lexicographic bijection ``g(i, j)`` onto ``[1, batch_count]``."""
+    return (group - 1) * 2 * params.delta_prime + slot
+
+
+def awake_mis_protocol(ctx: NodeContext):
+    """Protocol factory for ``Awake-MIS``.
+
+    Global inputs: ``awake_params`` (an :class:`AwakeMISParameters`).
+    """
+    params: AwakeMISParameters = ctx.require_input("awake_params")
+    rng = ctx.rng
+    my_id = rng.randint(1, params.id_space)
+    group, slot = choose_batch(rng, params)
+    my_batch = batch_index(group, slot, params)
+    batch_count = params.batch_count
+    phase_length = params.phase_length
+    ports = list(ctx.ports)
+
+    state = UNDECIDED
+    comm_rounds = sorted(communication_set(my_batch, batch_count))
+    ldt_awake_before = 0
+
+    for phase in comm_rounds:
+        communication_round = (phase - 1) * phase_length
+        if state == UNDECIDED:
+            inbox = yield WakeCall(round=communication_round, sends=[])
+            if any(payload == IN_MIS for _, payload in inbox):
+                state = NOT_IN_MIS
+        else:
+            yield WakeCall(
+                round=communication_round,
+                sends=[(port, state) for port in ports],
+            )
+        if phase == my_batch and state == UNDECIDED:
+            state = yield from ldt_mis_core(
+                my_id=my_id,
+                id_space=params.id_space,
+                ports=ports,
+                n_bound=params.n_bound,
+                start_round=communication_round + 1,
+                rng=rng,
+                variant=params.variant,
+            )
+
+    return MISDecision(
+        in_mis=(state == IN_MIS),
+        detail={
+            "batch": (group, slot),
+            "batch_index": my_batch,
+            "id": my_id,
+            "communication_rounds": len(comm_rounds),
+            "ldt_awake_before": ldt_awake_before,
+        },
+    )
+
+
+def run_awake_mis(graph: nx.Graph, seed: SeedLike = None,
+                  preset: str = "scaled",
+                  variant: str = "awake",
+                  params: Optional[AwakeMISParameters] = None,
+                  message_bit_limit: Optional[int] = None,
+                  trace: bool = False,
+                  max_active_rounds: int = 20_000_000) -> RunResult:
+    """Run ``Awake-MIS`` on *graph* (harness / tests / benchmarks entry point)."""
+    n = graph.number_of_nodes()
+    if params is None:
+        if preset == "paper":
+            params = AwakeMISParameters.paper(n, variant=variant)
+        else:
+            params = AwakeMISParameters.scaled(n, variant=variant)
+    return run_protocol(
+        graph,
+        awake_mis_protocol,
+        inputs={"awake_params": params},
+        seed=seed,
+        message_bit_limit=message_bit_limit,
+        trace=trace,
+        max_active_rounds=max_active_rounds,
+    )

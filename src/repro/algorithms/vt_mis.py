@@ -1,0 +1,117 @@
+"""Algorithm ``VT-MIS`` (paper Subsection 5.3, Lemma 10).
+
+``VT-MIS`` computes the lexicographically-first MIS with respect to the
+nodes' IDs using the virtual-binary-tree coordination technique: the node
+whose ID is ``k`` is awake exactly in the rounds of its communication set
+``S_k([1, I])`` (which contains ``k`` itself), sends its current state in
+each of those rounds, and decides in round ``k``.  Observation 5 guarantees
+every lower-ID neighbour's decision reaches it in time, so the output is the
+same LFMIS the sequential greedy scan would produce — with only
+``O(log I)`` awake rounds per node instead of ``O(I)``.
+
+The module provides both
+
+* :func:`vt_mis_core` — a composable sub-protocol (used inside ``LDT-MIS``
+  and therefore inside ``Awake-MIS``), and
+* :func:`vt_mis_protocol` — a standalone protocol factory for the harness,
+  which expects per-node IDs supplied through ``local_inputs`` (or draws
+  random IDs from ``[1, N^3]`` when ``id_source="random"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.algorithms.common import IN_MIS, MISDecision, NOT_IN_MIS, UNDECIDED
+from repro.core.virtual_tree import communication_set
+from repro.sim.actions import WakeCall
+from repro.sim.context import NodeContext
+
+
+def vt_mis_core(
+    my_id: int,
+    id_bound: int,
+    ports: Iterable[int],
+    start_round: int = 0,
+    state: str = UNDECIDED,
+):
+    """Run the VT-MIS sub-protocol; returns the final state string.
+
+    Parameters
+    ----------
+    my_id:
+        This node's unique ID in ``[1, id_bound]``.
+    id_bound:
+        The common upper bound ``I`` on IDs; determines the virtual tree.
+    ports:
+        Ports of the participating neighbours.  Messages are exchanged only
+        with them; other neighbours (if any) are ignored.
+    start_round:
+        Absolute round corresponding to the algorithm's logical round 1.
+        Logical round ``r`` happens at absolute round ``start_round + r - 1``.
+    state:
+        Initial state; nodes already decided (e.g. dominated by a previous
+        batch in Awake-MIS) never call this.
+
+    The generator yields :class:`~repro.sim.actions.WakeCall` objects and must
+    be driven with ``yield from`` inside a protocol generator.
+    """
+    if not 1 <= my_id <= id_bound:
+        raise ValueError(f"ID {my_id} outside [1, {id_bound}]")
+    ports = list(ports)
+    awake_rounds = sorted(communication_set(my_id, id_bound))
+    for logical_round in awake_rounds:
+        absolute = start_round + logical_round - 1
+        sends = [(port, state) for port in ports]
+        inbox = yield WakeCall(round=absolute, sends=sends)
+        if state == UNDECIDED:
+            if any(payload == IN_MIS for _, payload in inbox):
+                state = NOT_IN_MIS
+            elif logical_round == my_id:
+                state = IN_MIS
+    return state
+
+
+def vt_mis_protocol(ctx: NodeContext):
+    """Standalone VT-MIS protocol factory.
+
+    Global inputs
+    -------------
+    ``id_bound``:
+        The ID upper bound ``I`` (required).
+    ``id_source``:
+        ``"local"`` (default): the node's ID comes from
+        ``ctx.local_input["id"]``.  ``"random"``: the node draws a uniform ID
+        from ``[1, id_bound]`` (callers must make the bound large enough that
+        collisions are negligible; colliding IDs can break independence).
+
+    Returns a :class:`~repro.algorithms.common.MISDecision`.
+    """
+    id_bound = ctx.require_input("id_bound")
+    id_source = ctx.input("id_source", "local")
+    if id_source == "random":
+        my_id = ctx.rng.randint(1, id_bound)
+    else:
+        if not isinstance(ctx.local_input, dict) or "id" not in ctx.local_input:
+            raise ValueError(
+                "vt_mis_protocol with id_source='local' requires local_inputs "
+                "of the form {node: {'id': <int>}}"
+            )
+        my_id = ctx.local_input["id"]
+    final_state = yield from vt_mis_core(my_id, id_bound, ctx.ports)
+    return MISDecision(
+        in_mis=(final_state == IN_MIS),
+        decided_round=my_id - 1,
+        detail={"id": my_id, "id_bound": id_bound},
+    )
+
+
+def assign_sequential_ids(labels: List, seed_order: Optional[List] = None):
+    """Build ``local_inputs`` assigning IDs ``1..n`` following *seed_order*.
+
+    When *seed_order* is None the labels' natural order is used.  The helper
+    is what the harness and tests use to hand VT-MIS a specific ordering so
+    its output can be compared with the sequential LFMIS of the same order.
+    """
+    order = list(seed_order) if seed_order is not None else list(labels)
+    return {label: {"id": position} for position, label in enumerate(order, start=1)}

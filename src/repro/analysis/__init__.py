@@ -1,0 +1,35 @@
+"""Empirical analyses of the paper's probabilistic lemmas and scaling laws."""
+
+from repro.analysis.components import (
+    ShatteringExperimentResult,
+    run_shattering_experiment,
+    undersized_partition_failure,
+)
+from repro.analysis.fitting import (
+    GROWTH_LAWS,
+    Fit,
+    best_fit,
+    fit_law,
+    fit_report,
+    growth_ratio,
+)
+from repro.analysis.residual import ResidualExperimentResult, run_residual_experiment
+from repro.analysis.stats import Summary, geometric_sizes, percentile, summarize
+
+__all__ = [
+    "Fit",
+    "GROWTH_LAWS",
+    "ResidualExperimentResult",
+    "ShatteringExperimentResult",
+    "Summary",
+    "best_fit",
+    "fit_law",
+    "fit_report",
+    "geometric_sizes",
+    "growth_ratio",
+    "percentile",
+    "run_residual_experiment",
+    "run_shattering_experiment",
+    "summarize",
+    "undersized_partition_failure",
+]

@@ -1,0 +1,81 @@
+"""Small statistics helpers used by sweeps and experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary (rounded for tables)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "stdev": round(self.stdev, 3),
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of *values* (empty input -> zeros)."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n
+    ordered = sorted(data)
+    mid = n // 2
+    median = ordered[mid] if n % 2 == 1 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the *q*-th percentile (0..100) with linear interpolation."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def geometric_sizes(start: int, stop: int, factor: int = 2) -> List[int]:
+    """Return ``start, start*factor, ...`` up to and including *stop*."""
+    if start < 1 or stop < start or factor < 2:
+        raise ValueError("need 1 <= start <= stop and factor >= 2")
+    sizes = []
+    value = start
+    while value <= stop:
+        sizes.append(value)
+        value *= factor
+    return sizes

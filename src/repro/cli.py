@@ -1,0 +1,123 @@
+"""Command-line interface: ``repro-mis`` / ``python -m repro``.
+
+Sub-commands
+------------
+
+``run``
+    Run one MIS algorithm on one generated graph and print its metrics.
+``sweep``
+    Run a scaling sweep over several sizes/algorithms and print the table
+    plus growth-law fits.
+``experiment``
+    Regenerate one of the paper experiments E1–E8 (see DESIGN.md §3).
+``figure``
+    Print the paper's Figure 1/2 worked example.
+``list``
+    List available algorithms, graph families and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.harness import available_algorithms, run_mis
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.sweeps import run_sweep
+from repro.experiments.tables import format_table
+from repro.graphs.generators import FAMILIES, by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description="Reproduction of 'Distributed MIS in O(log log n) Awake "
+                    "Complexity' (PODC 2023)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_parser = sub.add_parser("run", help="run one algorithm on one graph")
+    run_parser.add_argument("--algorithm", default="awake_mis",
+                            choices=available_algorithms())
+    run_parser.add_argument("--family", default="gnp", choices=sorted(FAMILIES))
+    run_parser.add_argument("--n", type=int, default=128)
+    run_parser.add_argument("--seed", type=int, default=1)
+
+    sweep_parser = sub.add_parser("sweep", help="scaling sweep")
+    sweep_parser.add_argument("--algorithms", nargs="+",
+                              default=["awake_mis", "luby"],
+                              choices=available_algorithms())
+    sweep_parser.add_argument("--sizes", nargs="+", type=int,
+                              default=[64, 128, 256])
+    sweep_parser.add_argument("--families", nargs="+", default=["gnp"],
+                              choices=sorted(FAMILIES))
+    sweep_parser.add_argument("--repetitions", type=int, default=2)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+
+    experiment_parser = sub.add_parser("experiment",
+                                       help="regenerate a paper experiment")
+    experiment_parser.add_argument("experiment_id",
+                                   choices=available_experiments())
+    experiment_parser.add_argument("--scale", default="default",
+                                   choices=["smoke", "default", "full"])
+    experiment_parser.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("figure", help="print the Figure 1/2 worked example")
+    sub.add_parser("list", help="list algorithms, families and experiments")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        graph = by_name(args.family, args.n, seed=args.seed)
+        result = run_mis(graph, algorithm=args.algorithm, seed=args.seed)
+        print(format_table([result.summary()],
+                           title=f"{args.algorithm} on {args.family}(n={args.n})"))
+        return 0 if result.verified else 1
+
+    if args.command == "sweep":
+        sweep = run_sweep(
+            algorithms=args.algorithms,
+            sizes=args.sizes,
+            families=args.families,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+        print(format_table(sweep.rows(), title="sweep results"))
+        fits = sweep.fits("awake_max")
+        if fits:
+            print()
+            print(format_table(fits, title="growth-law fits (awake complexity)"))
+        return 0 if sweep.all_verified else 1
+
+    if args.command == "experiment":
+        report = run_experiment(args.experiment_id, scale=args.scale,
+                                seed=args.seed)
+        print(report.render())
+        return 0 if report.passed else 1
+
+    if args.command == "figure":
+        from repro.core.virtual_tree import figure_example
+
+        example = figure_example()
+        rows = [{"quantity": key, "value": value} for key, value in example.items()]
+        print(format_table(rows, title="Figure 1 / Figure 2 worked example"))
+        return 0
+
+    if args.command == "list":
+        print("algorithms :", ", ".join(available_algorithms()))
+        print("families   :", ", ".join(sorted(FAMILIES)))
+        print("experiments:", ", ".join(available_experiments()))
+        return 0
+
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

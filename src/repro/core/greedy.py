@@ -1,0 +1,199 @@
+"""Sequential randomized greedy MIS and the residual-sparsity machinery.
+
+The paper's main algorithm is a distributed, awake-efficient implementation
+of the classic *randomized greedy* (lexicographically-first) MIS:  draw a
+uniformly random permutation of the nodes, scan it, and add each node unless
+a neighbour was already added.  Two properties of this sequential process
+drive the analysis:
+
+* **Composability** (Section 3): running greedy on a prefix of the order and
+  then on the residual graph of the suffix yields the same MIS as running it
+  on the whole order at once.
+* **Residual sparsity** (Lemma 2): after the first ``t`` nodes of the order
+  have been processed, the graph induced by the *undecided* nodes among the
+  first ``t' > t`` has maximum degree roughly ``(t'/t) * ln(n / eps)`` w.h.p.
+
+This module implements the sequential process, the residual-graph operator,
+and helpers used by :mod:`repro.analysis.residual` to check Lemma 2
+empirically (experiment E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.mis import greedy_mis_from_order
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass
+class GreedyTrace:
+    """Full trace of one sequential randomized-greedy execution.
+
+    Attributes
+    ----------
+    order:
+        The random permutation of the nodes that was processed.
+    mis:
+        The resulting lexicographically-first MIS.
+    joined_at:
+        For each MIS node, its (1-indexed) position in the order.
+    decided_at:
+        For every node, the position at which it became decided: the position
+        at which it joined, or the position at which its earliest MIS
+        neighbour joined.
+    """
+
+    order: List
+    mis: Set
+    joined_at: Dict = field(default_factory=dict)
+    decided_at: Dict = field(default_factory=dict)
+
+
+def random_order(graph: nx.Graph, seed: SeedLike = None) -> List:
+    """Return a uniformly random permutation of the nodes of *graph*."""
+    rng = make_rng(seed)
+    order = list(graph.nodes)
+    rng.shuffle(order)
+    return order
+
+
+def randomized_greedy_mis(graph: nx.Graph, seed: SeedLike = None) -> Set:
+    """Run sequential randomized greedy MIS and return the MIS."""
+    return greedy_mis_from_order(graph, random_order(graph, seed))
+
+
+def randomized_greedy_trace(graph: nx.Graph, seed: SeedLike = None) -> GreedyTrace:
+    """Run sequential randomized greedy MIS and return the full trace."""
+    order = random_order(graph, seed)
+    return greedy_trace_from_order(graph, order)
+
+
+def greedy_trace_from_order(graph: nx.Graph, order: Sequence) -> GreedyTrace:
+    """Run the greedy scan over *order* recording join/decide positions."""
+    mis: Set = set()
+    joined_at: Dict = {}
+    decided_at: Dict = {}
+    for position, v in enumerate(order, start=1):
+        if v in decided_at:
+            continue
+        mis.add(v)
+        joined_at[v] = position
+        decided_at[v] = position
+        for u in graph.neighbors(v):
+            if u not in decided_at:
+                decided_at[u] = position
+    return GreedyTrace(order=list(order), mis=mis, joined_at=joined_at,
+                       decided_at=decided_at)
+
+
+def closed_neighborhood(graph: nx.Graph, nodes: Set) -> Set:
+    """Return ``N(nodes)``: the nodes together with all their neighbours."""
+    closed = set(nodes)
+    for v in nodes:
+        closed.update(graph.neighbors(v))
+    return closed
+
+
+def residual_graph(graph: nx.Graph, order: Sequence, t: int,
+                   t_prime: Optional[int] = None) -> nx.Graph:
+    """Return ``G[V_{t'} \\ N(M_t)]`` as in Lemma 2.
+
+    ``V_t`` is the set of the first ``t`` nodes of *order*, ``M_t`` the LFMIS
+    over ``G[V_t]``, and the returned graph is induced by the first ``t'``
+    nodes that are neither in ``M_t`` nor adjacent to it.  ``t'`` defaults to
+    ``len(order)`` (the whole graph).
+    """
+    order = list(order)
+    n = len(order)
+    if not 1 <= t <= n:
+        raise ValueError(f"t={t} must be in [1, {n}]")
+    t_prime = n if t_prime is None else t_prime
+    if not t < t_prime <= n:
+        raise ValueError(f"t'={t_prime} must satisfy t < t' <= {n}")
+    prefix = order[:t]
+    prefix_graph = graph.subgraph(prefix)
+    mis_prefix = greedy_mis_from_order(prefix_graph, prefix)
+    covered = closed_neighborhood(graph, mis_prefix)
+    survivors = [v for v in order[:t_prime] if v not in covered]
+    return graph.subgraph(survivors).copy()
+
+
+def residual_max_degree(graph: nx.Graph, order: Sequence, t: int,
+                        t_prime: Optional[int] = None) -> int:
+    """Return the maximum degree of the Lemma 2 residual graph."""
+    residual = residual_graph(graph, order, t, t_prime)
+    if residual.number_of_nodes() == 0:
+        return 0
+    return max(dict(residual.degree()).values(), default=0)
+
+
+def composability_check(graph: nx.Graph, order: Sequence, split: int) -> bool:
+    """Check the composability property of randomized greedy MIS.
+
+    Runs greedy on the first *split* nodes, then on the residual graph of the
+    remaining nodes, and verifies that the union equals the greedy MIS of the
+    full order.  Used by tests; always True per the paper's Section 3 claim.
+    """
+    order = list(order)
+    full = greedy_mis_from_order(graph, order)
+    prefix = order[:split]
+    prefix_graph = graph.subgraph(prefix)
+    first = greedy_mis_from_order(prefix_graph, prefix)
+    covered = closed_neighborhood(graph, first)
+    suffix = [v for v in order if v not in covered]
+    suffix_graph = graph.subgraph(suffix)
+    second = greedy_mis_from_order(suffix_graph, suffix)
+    return first | second == full
+
+
+@dataclass(frozen=True)
+class ResidualSparsityPoint:
+    """One measurement of Lemma 2: prefix size vs residual maximum degree."""
+
+    t: int
+    t_prime: int
+    max_degree: int
+    lemma_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the measured degree respects the lemma's bound."""
+        return self.max_degree <= self.lemma_bound
+
+
+def residual_sparsity_profile(
+    graph: nx.Graph,
+    prefix_sizes: Sequence[int],
+    seed: SeedLike = None,
+    epsilon: float = 1.0 / 16.0,
+    t_prime: Optional[int] = None,
+) -> List[ResidualSparsityPoint]:
+    """Measure residual max degree for several prefix sizes (experiment E6).
+
+    For each ``t`` in *prefix_sizes*, draws the same random order (so points
+    are comparable), computes the residual graph for (``t``, ``t'``) and
+    records the measured maximum degree next to Lemma 2's bound
+    ``(t'/t) * ln(n / eps)``.
+    """
+    import math
+
+    order = random_order(graph, seed)
+    n = graph.number_of_nodes()
+    effective_t_prime = n if t_prime is None else t_prime
+    points: List[ResidualSparsityPoint] = []
+    for t in prefix_sizes:
+        if not 1 <= t < effective_t_prime:
+            continue
+        max_deg = residual_max_degree(graph, order, t, effective_t_prime)
+        bound = (effective_t_prime / t) * math.log(n / epsilon)
+        points.append(
+            ResidualSparsityPoint(
+                t=t, t_prime=effective_t_prime, max_degree=max_deg,
+                lemma_bound=bound,
+            )
+        )
+    return points

@@ -1,0 +1,112 @@
+"""Maximal independent set definitions and verification.
+
+Every algorithm in the library (the paper's and the baselines) is checked
+against these verifiers, both in tests and — optionally — after every
+simulated run (:class:`repro.experiments.harness` turns verification on by
+default).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import networkx as nx
+
+from repro.errors import VerificationError
+
+
+def is_independent_set(graph: nx.Graph, candidate: Iterable) -> bool:
+    """Return True iff no two nodes of *candidate* are adjacent in *graph*."""
+    nodes = set(candidate)
+    missing = nodes - set(graph.nodes)
+    if missing:
+        return False
+    for u in nodes:
+        for v in graph.neighbors(u):
+            if v in nodes and v != u:
+                return False
+    return True
+
+
+def is_maximal_independent_set(graph: nx.Graph, candidate: Iterable) -> bool:
+    """Return True iff *candidate* is an independent set that is maximal.
+
+    Maximality: every node of the graph is either in the set or adjacent to a
+    node in the set (the domination condition (i) of the paper's definition).
+    """
+    nodes = set(candidate)
+    if not is_independent_set(graph, nodes):
+        return False
+    for v in graph.nodes:
+        if v in nodes:
+            continue
+        if not any(u in nodes for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def uncovered_nodes(graph: nx.Graph, candidate: Iterable) -> List:
+    """Return nodes that are neither in *candidate* nor adjacent to it."""
+    nodes = set(candidate)
+    return [
+        v
+        for v in graph.nodes
+        if v not in nodes and not any(u in nodes for u in graph.neighbors(v))
+    ]
+
+
+def conflicting_edges(graph: nx.Graph, candidate: Iterable) -> List:
+    """Return edges of *graph* whose both endpoints are in *candidate*."""
+    nodes = set(candidate)
+    return [(u, v) for u, v in graph.edges if u in nodes and v in nodes]
+
+
+def verify_mis(graph: nx.Graph, candidate: Iterable, label: str = "output") -> Set:
+    """Verify *candidate* is an MIS of *graph*, raising a detailed error if not.
+
+    Returns the candidate as a set on success so callers can chain the call.
+    """
+    nodes = set(candidate)
+    conflicts = conflicting_edges(graph, nodes)
+    if conflicts:
+        raise VerificationError(
+            f"{label} is not independent: {len(conflicts)} conflicting edge(s), "
+            f"e.g. {conflicts[:3]}"
+        )
+    uncovered = uncovered_nodes(graph, nodes)
+    if uncovered:
+        raise VerificationError(
+            f"{label} is not maximal: {len(uncovered)} uncovered node(s), "
+            f"e.g. {uncovered[:5]}"
+        )
+    return nodes
+
+
+def greedy_mis_from_order(graph: nx.Graph, order: Iterable) -> Set:
+    """Return the lexicographically-first MIS (LFMIS) for a node *order*.
+
+    This is the sequential greedy scan the paper's Section 4.3 describes:
+    process nodes in the given order and add each to the output unless a
+    neighbour is already in it.  The result is the LFMIS with respect to that
+    ordering, and is the ground truth the distributed LFMIS algorithms
+    (VT-MIS, LDT-MIS, Awake-MIS) are compared against in tests.
+    """
+    order = list(order)
+    order_set = set(order)
+    graph_nodes = set(graph.nodes)
+    if order_set != graph_nodes:
+        unknown = order_set - graph_nodes
+        missing = graph_nodes - order_set
+        raise ValueError(
+            "order must be a permutation of the graph's nodes "
+            f"(unknown: {sorted(unknown)[:5]}, missing: {sorted(missing)[:5]})"
+        )
+    mis: Set = set()
+    blocked: Set = set()
+    for v in order:
+        if v in blocked:
+            continue
+        mis.add(v)
+        blocked.add(v)
+        blocked.update(graph.neighbors(v))
+    return mis

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library-level failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm or simulator is configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator detects an illegal protocol action."""
+
+
+class MessageTooLargeError(SimulationError):
+    """Raised when a protocol sends a message exceeding the CONGEST budget.
+
+    The SLEEPING-CONGEST model only allows ``O(log n)``-bit messages per edge
+    per round.  The simulator enforces a concrete per-run byte budget and
+    raises this error when a message exceeds it (unless enforcement is
+    disabled).
+    """
+
+
+class ProtocolViolationError(SimulationError):
+    """Raised when a protocol violates the round structure.
+
+    Examples: scheduling a wake-up in the past, or sending on a port that
+    does not exist on the node.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when an algorithm output fails verification (e.g. not an MIS)."""

@@ -1,0 +1,17 @@
+"""Experiment harness: single runs, sweeps, tables, and the E1–E8 registry."""
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    MISRunResult,
+    available_algorithms,
+    default_message_bit_limit,
+    run_mis,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "MISRunResult",
+    "available_algorithms",
+    "default_message_bit_limit",
+    "run_mis",
+]

@@ -1,0 +1,268 @@
+"""Single-run experiment harness.
+
+:func:`run_mis` is the main entry point used by the examples, the CLI, the
+benchmarks and most integration tests: it runs one MIS algorithm on one graph
+under one seed, verifies the output, and packages the paper-relevant metrics
+into an :class:`MISRunResult`.
+
+Algorithms are registered by name in :data:`ALGORITHMS`; registration values
+are small adapter callables so that importing the harness stays cheap and the
+set of available algorithms is discoverable programmatically
+(:func:`available_algorithms`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.core.mis import is_independent_set, is_maximal_independent_set
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import RunResult, run_protocol
+
+
+@dataclass
+class MISRunResult:
+    """Outcome of one algorithm run on one graph."""
+
+    algorithm: str
+    graph_nodes: int
+    graph_edges: int
+    mis: Set
+    verified: bool
+    independent: bool
+    maximal: bool
+    metrics: RunMetrics
+    wall_time_seconds: float
+    seed: Optional[int] = None
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    raw: Optional[RunResult] = None
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dictionary used by tables, sweeps and the CLI."""
+        data = {
+            "algorithm": self.algorithm,
+            "n": self.graph_nodes,
+            "m": self.graph_edges,
+            "mis_size": len(self.mis),
+            "verified": self.verified,
+            "awake_complexity": self.metrics.awake_complexity,
+            "node_averaged_awake": round(self.metrics.node_averaged_awake, 3),
+            "round_complexity": self.metrics.round_complexity,
+            "total_messages": self.metrics.total_messages,
+            "max_message_bits": self.metrics.max_message_bits,
+            "wall_time_s": round(self.wall_time_seconds, 4),
+        }
+        return data
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm adapters
+# --------------------------------------------------------------------------- #
+AlgorithmAdapter = Callable[..., RunResult]
+
+
+def _id_local_inputs(graph: nx.Graph, seed: SeedLike, id_bound: int) -> Dict:
+    """Assign each node a unique random ID (a random permutation of [1, n])."""
+    rng = make_rng(seed)
+    labels = list(graph.nodes)
+    rng.shuffle(labels)
+    return {label: {"id": position} for position, label in enumerate(labels, 1)}
+
+
+def _run_vt_mis(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.vt_mis import vt_mis_protocol
+
+    n = graph.number_of_nodes()
+    id_bound = params.get("id_bound", max(1, n))
+    local_inputs = params.get("local_inputs")
+    if local_inputs is None:
+        local_inputs = _id_local_inputs(graph, seed, id_bound)
+    return run_protocol(
+        graph,
+        vt_mis_protocol,
+        inputs={"id_bound": id_bound},
+        local_inputs=local_inputs,
+        seed=seed,
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+    )
+
+
+def _run_naive_greedy(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.naive_greedy import naive_greedy_protocol
+
+    n = graph.number_of_nodes()
+    id_bound = params.get("id_bound", max(1, n))
+    local_inputs = params.get("local_inputs")
+    if local_inputs is None:
+        local_inputs = _id_local_inputs(graph, seed, id_bound)
+    return run_protocol(
+        graph,
+        naive_greedy_protocol,
+        inputs={"id_bound": id_bound},
+        local_inputs=local_inputs,
+        seed=seed,
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+    )
+
+
+def _run_luby(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.luby import luby_protocol
+
+    return run_protocol(
+        graph,
+        luby_protocol,
+        inputs={"max_iterations": params.get("max_iterations", 4096)},
+        seed=seed,
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+    )
+
+
+def _run_rank_greedy(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.rank_greedy import rank_greedy_protocol
+
+    return run_protocol(
+        graph,
+        rank_greedy_protocol,
+        inputs={},
+        seed=seed,
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+    )
+
+
+def _run_ldt_mis(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.ldt_mis import run_ldt_mis
+
+    return run_ldt_mis(
+        graph,
+        seed=seed,
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+        n_bound=params.get("n_bound"),
+        id_space=params.get("id_space"),
+        variant=params.get("variant", "awake"),
+        max_active_rounds=params.get("max_active_rounds", 10_000_000),
+    )
+
+
+def _run_awake_mis(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
+    from repro.algorithms.awake_mis import run_awake_mis
+
+    return run_awake_mis(
+        graph,
+        seed=seed,
+        preset=params.get("preset", "scaled"),
+        variant=params.get("variant", "awake"),
+        params=params.get("params"),
+        message_bit_limit=params.get("message_bit_limit"),
+        trace=params.get("trace", False),
+        max_active_rounds=params.get("max_active_rounds", 20_000_000),
+    )
+
+
+#: Registry of available algorithms: name -> adapter.
+ALGORITHMS: Dict[str, AlgorithmAdapter] = {
+    "vt_mis": _run_vt_mis,
+    "naive_greedy": _run_naive_greedy,
+    "luby": _run_luby,
+    "rank_greedy": _run_rank_greedy,
+    "ldt_mis": _run_ldt_mis,
+    "awake_mis": _run_awake_mis,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Return the names accepted by :func:`run_mis`."""
+    return sorted(ALGORITHMS)
+
+
+def default_message_bit_limit(n: int) -> int:
+    """CONGEST budget used by default: ``64 * ceil(log2(n + 2))`` bits.
+
+    The model allows O(log n)-bit messages; the constant 64 accommodates the
+    small tuples of IDs/counters the protocols exchange while still scaling
+    logarithmically, so a protocol that needed polynomially many bits (the
+    LOCAL-only algorithms the paper cites) would be rejected.
+    """
+    return 64 * max(1, math.ceil(math.log2(n + 2)))
+
+
+def run_mis(
+    graph: nx.Graph,
+    algorithm: str = "awake_mis",
+    seed: SeedLike = None,
+    verify: bool = True,
+    enforce_congest: bool = True,
+    keep_raw: bool = False,
+    **params: Any,
+) -> MISRunResult:
+    """Run *algorithm* on *graph* and return a verified :class:`MISRunResult`.
+
+    Parameters
+    ----------
+    graph:
+        Any simple undirected graph.
+    algorithm:
+        One of :func:`available_algorithms`.
+    seed:
+        Master seed controlling every random choice of the run.
+    verify:
+        When True (default) the output set is checked for independence and
+        maximality; the result records the outcome in ``verified``.
+    enforce_congest:
+        When True (default) the simulator enforces the CONGEST message-size
+        budget of :func:`default_message_bit_limit`.
+    keep_raw:
+        When True the full :class:`repro.sim.runner.RunResult` (including the
+        per-node outputs) is attached as ``raw``.
+    params:
+        Algorithm-specific parameters forwarded to the adapter.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm '{algorithm}'; available: {available_algorithms()}"
+        )
+    if graph.number_of_nodes() == 0:
+        raise ConfigurationError("cannot run an MIS algorithm on an empty graph")
+
+    if enforce_congest and "message_bit_limit" not in params:
+        params["message_bit_limit"] = default_message_bit_limit(
+            graph.number_of_nodes()
+        )
+
+    from repro.algorithms.common import mis_from_result
+
+    started = time.perf_counter()
+    raw = ALGORITHMS[algorithm](graph, seed, **params)
+    elapsed = time.perf_counter() - started
+
+    mis = mis_from_result(raw)
+    independent = maximal = True
+    if verify:
+        independent = is_independent_set(graph, mis)
+        maximal = is_maximal_independent_set(graph, mis)
+
+    return MISRunResult(
+        algorithm=algorithm,
+        graph_nodes=graph.number_of_nodes(),
+        graph_edges=graph.number_of_edges(),
+        mis=mis,
+        verified=independent and maximal,
+        independent=independent,
+        maximal=maximal,
+        metrics=raw.metrics,
+        wall_time_seconds=elapsed,
+        seed=seed if isinstance(seed, int) else None,
+        parameters={k: v for k, v in params.items() if k != "local_inputs"},
+        raw=raw if keep_raw else None,
+    )

@@ -1,0 +1,137 @@
+"""Parameter sweeps over graph size / family / algorithm.
+
+A sweep runs :func:`repro.experiments.harness.run_mis` over a grid of
+``(algorithm, graph family, n, seed)`` combinations and aggregates the
+paper-relevant metrics (awake complexity, node-averaged awake complexity,
+round complexity, MIS size, verification) per grid cell.  The scaling
+experiments E1–E4 are thin wrappers around these sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.fitting import fit_report
+from repro.analysis.stats import summarize
+from repro.experiments.harness import MISRunResult, run_mis
+from repro.graphs.generators import by_name
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass
+class SweepCell:
+    """Aggregated results of all repetitions for one (algorithm, family, n)."""
+
+    algorithm: str
+    family: str
+    n: int
+    runs: List[MISRunResult] = field(default_factory=list)
+
+    @property
+    def awake_complexities(self) -> List[int]:
+        return [r.metrics.awake_complexity for r in self.runs]
+
+    @property
+    def round_complexities(self) -> List[int]:
+        return [r.metrics.round_complexity for r in self.runs]
+
+    @property
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.runs)
+
+    def row(self) -> Dict[str, Any]:
+        """One table row summarising this cell."""
+        awake = summarize(self.awake_complexities)
+        rounds = summarize(self.round_complexities)
+        averaged = summarize([r.metrics.node_averaged_awake for r in self.runs])
+        sizes = summarize([len(r.mis) for r in self.runs])
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "runs": len(self.runs),
+            "verified": self.all_verified,
+            "awake_mean": round(awake.mean, 2),
+            "awake_max": awake.maximum,
+            "avg_awake_mean": round(averaged.mean, 2),
+            "rounds_mean": round(rounds.mean, 1),
+            "mis_size_mean": round(sizes.mean, 1),
+        }
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, with helpers for tables and fits."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Table rows ordered by (algorithm, family, n)."""
+        ordered = sorted(self.cells, key=lambda c: (c.algorithm, c.family, c.n))
+        return [cell.row() for cell in ordered]
+
+    def series(self, algorithm: str, family: str,
+               metric: str = "awake_max") -> List[tuple]:
+        """Return the (n, value) series for one algorithm/family pair."""
+        points = []
+        for cell in sorted(self.cells, key=lambda c: c.n):
+            if cell.algorithm != algorithm or cell.family != family:
+                continue
+            points.append((cell.n, cell.row()[metric]))
+        return points
+
+    def fits(self, metric: str = "awake_max") -> List[Dict[str, Any]]:
+        """Best growth-law fit per (algorithm, family) for *metric*."""
+        reports = []
+        pairs = sorted({(c.algorithm, c.family) for c in self.cells})
+        for algorithm, family in pairs:
+            series = self.series(algorithm, family, metric)
+            if len(series) < 2:
+                continue
+            ns = [n for n, _ in series]
+            values = [v for _, v in series]
+            report = {"algorithm": algorithm, "family": family, "metric": metric}
+            report.update(fit_report(ns, values))
+            reports.append(report)
+        return reports
+
+    @property
+    def all_verified(self) -> bool:
+        return all(cell.all_verified for cell in self.cells)
+
+
+def run_sweep(
+    algorithms: Sequence[str],
+    sizes: Sequence[int],
+    families: Sequence[str] = ("gnp",),
+    repetitions: int = 3,
+    seed: SeedLike = None,
+    algorithm_params: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> SweepResult:
+    """Run the full grid and return a :class:`SweepResult`.
+
+    *algorithm_params* optionally maps algorithm name to extra keyword
+    arguments for :func:`run_mis` (e.g. ``{"awake_mis": {"preset": "scaled"}}``).
+    """
+    rng = make_rng(seed)
+    algorithm_params = algorithm_params or {}
+    result = SweepResult()
+    for family in families:
+        for n in sizes:
+            graphs = [
+                by_name(family, n, seed=rng.randrange(2**63))
+                for _ in range(repetitions)
+            ]
+            for algorithm in algorithms:
+                cell = SweepCell(algorithm=algorithm, family=family, n=n)
+                for graph in graphs:
+                    run = run_mis(
+                        graph,
+                        algorithm=algorithm,
+                        seed=rng.randrange(2**63),
+                        **algorithm_params.get(algorithm, {}),
+                    )
+                    cell.runs.append(run)
+                result.cells.append(cell)
+    return result

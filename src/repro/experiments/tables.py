@@ -1,0 +1,75 @@
+"""Plain-text tables and series for experiment reports.
+
+Everything the benchmarks and examples print goes through these helpers so
+the output format is uniform: a fixed-width text table (readable in CI logs)
+plus an optional CSV string for further processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Dict[str, Any]],
+                 columns: Sequence[str] = None,
+                 title: str = "") -> str:
+    """Render *rows* (list of dicts) as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column])
+                       for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_csv(rows: Sequence[Dict[str, Any]],
+               columns: Sequence[str] = None) -> str:
+    """Render *rows* as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines)
+
+
+def format_series(series: Iterable[Tuple[Any, Any]], x_label: str = "n",
+                  y_label: str = "value", title: str = "") -> str:
+    """Render an (x, y) series as a small two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in series]
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def ascii_plot(series: Sequence[Tuple[float, float]], width: int = 48,
+               label: str = "") -> str:
+    """Render a crude horizontal-bar plot of an (x, y) series.
+
+    Useful in terminal output to eyeball the growth shape (flat vs
+    logarithmic vs linear) without any plotting dependency.
+    """
+    if not series:
+        return "(empty series)"
+    maximum = max(y for _, y in series) or 1.0
+    lines = [label] if label else []
+    for x, y in series:
+        bar = "#" * max(1, int(round(width * (y / maximum)))) if y > 0 else ""
+        lines.append(f"{str(x).rjust(8)} | {bar} {y}")
+    return "\n".join(lines)

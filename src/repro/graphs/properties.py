@@ -1,0 +1,65 @@
+"""Basic structural statistics of workload graphs.
+
+Used by the experiment harness to annotate result tables (the paper's bounds
+are parameterised by ``n`` and the maximum degree Δ) and by tests that need
+to reason about component structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for a workload graph."""
+
+    nodes: int
+    edges: int
+    max_degree: int
+    average_degree: float
+    components: int
+    largest_component: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "max_degree": self.max_degree,
+            "average_degree": round(self.average_degree, 3),
+            "components": self.components,
+            "largest_component": self.largest_component,
+        }
+
+
+def graph_stats(graph: nx.Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for *graph*."""
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    degrees = [d for _, d in graph.degree()]
+    components = list(nx.connected_components(graph)) if n else []
+    return GraphStats(
+        nodes=n,
+        edges=m,
+        max_degree=max(degrees) if degrees else 0,
+        average_degree=(2.0 * m / n) if n else 0.0,
+        components=len(components),
+        largest_component=max((len(c) for c in components), default=0),
+    )
+
+
+def component_sizes(graph: nx.Graph) -> List[int]:
+    """Return connected-component sizes in decreasing order."""
+    return sorted((len(c) for c in nx.connected_components(graph)), reverse=True)
+
+
+def degree_histogram(graph: nx.Graph) -> Dict[int, int]:
+    """Return ``{degree: count}`` for *graph*."""
+    histogram: Dict[int, int] = {}
+    for _, degree in graph.degree():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,52 @@
+"""Labeled distance trees: structure, schedules, procedures, construction."""
+
+from repro.ldt.cole_vishkin import (
+    cv_root_step,
+    cv_step,
+    is_proper_coloring,
+    iterations_to_six_colors,
+    six_color_rooted_forest,
+)
+from repro.ldt.construct import (
+    ConstructionResult,
+    blocks_per_phase,
+    construction_rounds,
+    cv_iterations,
+    ldt_construct,
+    merge_phases,
+)
+from repro.ldt.procedures import (
+    broadcast_chunks,
+    fragment_broadcast,
+    ldt_ranking,
+    reroot_fragment,
+    transmit_adjacent,
+    upcast_min,
+)
+from repro.ldt.schedule import TransmissionSchedule, block_length, next_block, schedule_for
+from repro.ldt.structure import LDTState
+
+__all__ = [
+    "ConstructionResult",
+    "LDTState",
+    "TransmissionSchedule",
+    "block_length",
+    "blocks_per_phase",
+    "broadcast_chunks",
+    "construction_rounds",
+    "cv_iterations",
+    "cv_root_step",
+    "cv_step",
+    "fragment_broadcast",
+    "is_proper_coloring",
+    "iterations_to_six_colors",
+    "ldt_construct",
+    "ldt_ranking",
+    "merge_phases",
+    "next_block",
+    "reroot_fragment",
+    "schedule_for",
+    "six_color_rooted_forest",
+    "transmit_adjacent",
+    "upcast_min",
+]

@@ -1,0 +1,109 @@
+"""Cole–Vishkin colour reduction on rooted trees / forests.
+
+The LDT construction (paper Appendix A.2, stage 2c) 6-colours the fragment
+supergraph — a rooted forest whose "nodes" are LDT fragments and whose edges
+are the chosen outgoing edges — using a Cole–Vishkin style iteration: in each
+step every fragment replaces its colour by ``2 * i + b`` where ``i`` is the
+index of the lowest bit in which its colour differs from its parent's colour
+and ``b`` is its own bit at that index.  Starting from distinct IDs, after
+``O(log* I)`` iterations the colours lie in ``{0, ..., 5}`` and the colouring
+is proper (adjacent fragments differ).
+
+This module holds the *pure* arithmetic: one reduction step, the number of
+iterations required for a given ID space, and a sequential reference
+implementation on an explicit parent map used to cross-check the distributed
+simulation in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+#: Number of colours Cole–Vishkin converges to on trees.
+FINAL_COLORS = 6
+
+
+def cv_step(color: int, parent_color: int) -> int:
+    """One Cole–Vishkin reduction step for a non-root node.
+
+    Requires ``color != parent_color``; returns ``2 * i + b`` for the lowest
+    differing bit index ``i`` and own bit value ``b``.
+    """
+    if color < 0 or parent_color < 0:
+        raise ValueError("colours must be non-negative integers")
+    if color == parent_color:
+        raise ValueError(
+            f"cv_step requires distinct colours, got {color} twice; "
+            "the colouring invariant was violated"
+        )
+    diff = color ^ parent_color
+    index = (diff & -diff).bit_length() - 1
+    own_bit = (color >> index) & 1
+    return 2 * index + own_bit
+
+
+def cv_root_step(color: int) -> int:
+    """The reduction step for a root (which has no parent).
+
+    The root pretends its parent's colour is its own with bit 0 flipped,
+    which makes its new colour its own bit 0 (0 or 1) while preserving
+    properness with respect to every child (see the analysis in the module
+    docstring of :mod:`repro.ldt.construct`).
+    """
+    return cv_step(color, color ^ 1)
+
+
+def iterations_to_six_colors(id_space: int) -> int:
+    """Return a sufficient number of CV iterations for IDs in ``[1, id_space]``.
+
+    Computed by iterating the worst-case bit-length recurrence
+    ``b -> bit_length(2 * b - 1)`` until it stabilises at 3 bits, plus one
+    final iteration (at 3 bits one more step lands in ``{0, ..., 5}``), plus
+    one iteration of slack.
+    """
+    bits = max(1, int(id_space).bit_length())
+    iterations = 0
+    while bits > 3:
+        bits = (2 * bits - 1).bit_length()
+        iterations += 1
+        if iterations > 64:  # pragma: no cover - defensive
+            break
+    return iterations + 2
+
+
+def six_color_rooted_forest(parents: Dict[int, Optional[int]],
+                            colors: Dict[int, int],
+                            iterations: Optional[int] = None) -> Dict[int, int]:
+    """Sequential reference: run CV on an explicit rooted forest.
+
+    *parents* maps every node to its parent (``None`` for roots); *colors*
+    gives the initial colours, which must be distinct on adjacent pairs
+    (IDs always are).  Returns the final colouring; used by tests to verify
+    the distributed fragment-level simulation and the convergence bound.
+    """
+    current = dict(colors)
+    if iterations is None:
+        iterations = iterations_to_six_colors(max(current.values()) + 1)
+    for _ in range(iterations):
+        updated = {}
+        for node, parent in parents.items():
+            if parent is None:
+                updated[node] = cv_root_step(current[node])
+            else:
+                updated[node] = cv_step(current[node], current[parent])
+        current = updated
+    return current
+
+
+def is_proper_coloring(parents: Dict[int, Optional[int]],
+                       colors: Dict[int, int]) -> bool:
+    """Return True when no node shares a colour with its parent."""
+    return all(
+        parent is None or colors[node] != colors[parent]
+        for node, parent in parents.items()
+    )
+
+
+def color_classes_used(colors: Iterable[int]) -> int:
+    """Return the number of distinct colours in use."""
+    return len(set(colors))

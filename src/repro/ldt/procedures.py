@@ -1,0 +1,278 @@
+"""Awake-efficient procedures over labeled distance trees.
+
+These are the paper's Appendix A primitives, each implemented as a composable
+sub-generator (driven with ``yield from`` inside a protocol) on top of the
+transmission schedule of :mod:`repro.ldt.schedule`:
+
+* :func:`fragment_broadcast` — the root's message reaches every node
+  (O(1) awake, one block);
+* :func:`upcast_min` — the minimum of the nodes' values reaches the root
+  (O(1) awake, one block);
+* :func:`transmit_adjacent` — every node exchanges messages with neighbours
+  in *other* fragments (O(1) awake, one block);
+* :func:`ldt_ranking` — every node learns its rank in a total order of the
+  LDT and the LDT's exact size (O(1) awake, two blocks);
+* :func:`broadcast_chunks` — a sequence of broadcasts used to ship the
+  root's random permutation under the CONGEST message-size budget;
+* :func:`reroot_fragment` — the re-orientation step used when fragments
+  merge (O(1) awake, two blocks).
+
+Every procedure occupies a fixed number of schedule blocks that depends only
+on globally known quantities, so independently executing fragments stay in
+lockstep without communication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ldt.schedule import block_length, next_block, schedule_for
+from repro.ldt.structure import LDTState
+from repro.sim.actions import WakeCall
+
+#: Number of schedule blocks each procedure occupies.
+BLOCKS_BROADCAST = 1
+BLOCKS_UPCAST = 1
+BLOCKS_TRANSMIT_ADJACENT = 1
+BLOCKS_RANKING = 2
+BLOCKS_REROOT = 2
+
+
+def _inbox_from(inbox: List[Tuple[int, Any]], port: int) -> Optional[Any]:
+    """Return the payload received on *port*, or None."""
+    for arrival_port, payload in inbox:
+        if arrival_port == port:
+            return payload
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Broadcast / upcast / transmit-adjacent
+# --------------------------------------------------------------------------- #
+def fragment_broadcast(ldt: LDTState, n_bound: int, block_start: int,
+                       payload: Any = None):
+    """Broadcast the root's *payload* to every node of the LDT.
+
+    The root passes the value to send; non-roots pass anything (ignored) and
+    receive the root's value as the generator's return value.  O(1) awake
+    rounds, one schedule block.
+    """
+    schedule = schedule_for(block_start, n_bound, ldt.depth)
+    if ldt.is_root:
+        message = ("bc", payload)
+        if ldt.children_ports:
+            yield WakeCall(
+                round=schedule.down_send,
+                sends=[(port, message) for port in ldt.children_ports],
+            )
+        return payload
+
+    inbox = yield WakeCall(round=schedule.down_receive, sends=[])
+    received = _inbox_from(inbox, ldt.parent_port)
+    value = received[1] if isinstance(received, tuple) and received[0] == "bc" else None
+    if ldt.children_ports:
+        yield WakeCall(
+            round=schedule.down_send,
+            sends=[(port, ("bc", value)) for port in ldt.children_ports],
+        )
+    return value
+
+
+def upcast_min(ldt: LDTState, n_bound: int, block_start: int,
+               value: Optional[Any] = None):
+    """Deliver the minimum of the nodes' *value*s to the root.
+
+    ``None`` means "no value".  Values must be mutually comparable (the
+    callers use tuples of integers).  Every node returns the minimum of its
+    own subtree; the root's return value is the global minimum (or ``None``
+    when no node supplied a value).  O(1) awake rounds, one block.
+    """
+    schedule = schedule_for(block_start, n_bound, ldt.depth)
+    best = value
+    if ldt.children_ports:
+        inbox = yield WakeCall(round=schedule.up_receive, sends=[])
+        for port in ldt.children_ports:
+            received = _inbox_from(inbox, port)
+            if isinstance(received, tuple) and received[0] == "up":
+                child_best = received[1]
+                if child_best is not None and (best is None or child_best < best):
+                    best = child_best
+    if not ldt.is_root:
+        yield WakeCall(
+            round=schedule.up_send,
+            sends=[(ldt.parent_port, ("up", best))],
+        )
+    return best
+
+
+def transmit_adjacent(depth: int, n_bound: int, block_start: int,
+                      sends: Sequence[Tuple[int, Any]]):
+    """Exchange messages with neighbours during the side round of a block.
+
+    All participating nodes (of every fragment) are awake in the same
+    absolute round, so messages cross fragment boundaries.  Returns the
+    inbox.  O(1) awake rounds, one block.
+    """
+    schedule = schedule_for(block_start, n_bound, depth)
+    inbox = yield WakeCall(round=schedule.side, sends=list(sends))
+    return inbox
+
+
+# --------------------------------------------------------------------------- #
+# Ranking
+# --------------------------------------------------------------------------- #
+def ldt_ranking(ldt: LDTState, n_bound: int, block_start: int):
+    """Compute this node's rank in a total order of the LDT and the LDT size.
+
+    The order is the paper's generalised in-order traversal: first the
+    subtree of the first child, then the node itself, then the remaining
+    subtrees.  Returns ``(rank, total)`` with ``rank`` in ``[1, total]``.
+    O(1) awake rounds, two blocks.
+    """
+    # ---- Block 1 (upward): subtree sizes -------------------------------- #
+    schedule = schedule_for(block_start, n_bound, ldt.depth)
+    child_sizes: Dict[int, int] = {}
+    if ldt.children_ports:
+        inbox = yield WakeCall(round=schedule.up_receive, sends=[])
+        for port in ldt.children_ports:
+            received = _inbox_from(inbox, port)
+            if isinstance(received, tuple) and received[0] == "sz":
+                child_sizes[port] = received[1]
+            else:
+                child_sizes[port] = 0
+    subtree_size = 1 + sum(child_sizes.values())
+    if not ldt.is_root:
+        yield WakeCall(
+            round=schedule.up_send,
+            sends=[(ldt.parent_port, ("sz", subtree_size))],
+        )
+
+    # ---- Block 2 (downward): rank prefixes ------------------------------ #
+    down_start = next_block(block_start, n_bound)
+    schedule2 = schedule_for(down_start, n_bound, ldt.depth)
+    if ldt.is_root:
+        prefix = 0
+        total = subtree_size
+    else:
+        inbox = yield WakeCall(round=schedule2.down_receive, sends=[])
+        received = _inbox_from(inbox, ldt.parent_port)
+        if isinstance(received, tuple) and received[0] == "rk":
+            prefix, total = received[1], received[2]
+        else:  # pragma: no cover - defensive (parent asleep)
+            prefix, total = 0, subtree_size
+
+    ordered_children = [p for p in ldt.children_ports]
+    first_child_size = child_sizes.get(ordered_children[0], 0) if ordered_children else 0
+    rank = prefix + first_child_size + 1
+
+    if ordered_children:
+        sends = []
+        running = prefix
+        for index, port in enumerate(ordered_children):
+            if index == 0:
+                sends.append((port, ("rk", prefix, total)))
+                running = rank  # nodes ranked so far: first subtree + self
+            else:
+                sends.append((port, ("rk", running, total)))
+                running += child_sizes.get(port, 0)
+        yield WakeCall(round=schedule2.down_send, sends=sends)
+    return rank, total
+
+
+# --------------------------------------------------------------------------- #
+# Chunked broadcast (for the random permutation of LDT-MIS)
+# --------------------------------------------------------------------------- #
+def broadcast_chunks(ldt: LDTState, n_bound: int, block_start: int,
+                     chunk_count: int, chunks: Optional[List[Any]] = None):
+    """Run *chunk_count* consecutive broadcasts.
+
+    The root supplies ``chunks`` (padded/truncated to *chunk_count*); every
+    node returns the list of received chunks.  Awake complexity
+    O(chunk_count); round complexity O(chunk_count * n_bound).
+    """
+    received: List[Any] = []
+    for index in range(chunk_count):
+        start = next_block(block_start, n_bound, index)
+        if ldt.is_root:
+            payload = None
+            if chunks is not None and index < len(chunks):
+                payload = chunks[index]
+            value = yield from fragment_broadcast(ldt, n_bound, start, payload)
+        else:
+            value = yield from fragment_broadcast(ldt, n_bound, start)
+        received.append(value)
+    return received
+
+
+# --------------------------------------------------------------------------- #
+# Re-rooting (fragment merge re-orientation)
+# --------------------------------------------------------------------------- #
+def reroot_fragment(ldt: LDTState, n_bound: int, block_start: int,
+                    merge_info: Optional[Tuple[int, int, int]] = None):
+    """Re-orient an LDT whose merge endpoint acquired a new parent.
+
+    *merge_info* is ``(new_ldt_id, new_depth, new_parent_port)`` and is
+    passed only by the merge-edge endpoint (the node that just learned, via a
+    transmit-adjacent exchange, that its fragment merges into another one);
+    every other node of the fragment passes ``None``.
+
+    The paper's two-instance trick (Appendix A.2, stage 3b) is used: the
+    first schedule instance walks the update *up* the old tree from the
+    endpoint to the old root, flipping parent pointers along the way; the
+    second instance pushes the update *down* to every remaining node, whose
+    orientation does not change.  Mutates *ldt* in place and also returns it.
+    O(1) awake rounds, two blocks.
+    """
+    old_depth = ldt.depth
+    old_parent = ldt.parent_port
+    old_children = list(ldt.children_ports)
+    updated = False
+    path_child_port: Optional[int] = None
+
+    if merge_info is not None:
+        new_id, new_depth, new_parent_port = merge_info
+        ldt.reroot_towards(new_id, new_depth, new_parent_port,
+                           old_parent_becomes_child=True)
+        updated = True
+
+    # ---- Instance 1: walk the path from the endpoint to the old root ---- #
+    schedule = schedule_for(block_start, n_bound, old_depth)
+    if not updated and old_children:
+        # Only a node with (old) children can lie on the endpoint-to-root
+        # path strictly above the endpoint, so only such nodes listen.
+        inbox = yield WakeCall(round=schedule.up_receive, sends=[])
+        for port, payload in inbox:
+            if isinstance(payload, tuple) and payload[0] == "rr":
+                _, received_id, sender_depth = payload
+                path_child_port = port
+                ldt.reroot_towards(received_id, sender_depth + 1, port,
+                                   old_parent_becomes_child=True)
+                updated = True
+                break
+    if updated and old_parent is not None:
+        yield WakeCall(
+            round=schedule.up_send,
+            sends=[(old_parent, ("rr", ldt.ldt_id, ldt.depth))],
+        )
+
+    # ---- Instance 2: push the update down the (old) tree ---------------- #
+    down_start = next_block(block_start, n_bound)
+    schedule2 = schedule_for(down_start, n_bound, old_depth)
+    if not updated:
+        inbox = yield WakeCall(round=schedule2.down_receive, sends=[])
+        received = _inbox_from(inbox, old_parent) if old_parent is not None else None
+        if isinstance(received, tuple) and received[0] == "rr2":
+            _, received_id, parent_depth = received
+            ldt.ldt_id = received_id
+            ldt.depth = parent_depth + 1
+            updated = True
+
+    # Forward to the old children whose subtrees hang below us in the old
+    # orientation; the path child (now our parent) is already up to date.
+    forward_ports = [port for port in old_children if port != path_child_port]
+    if updated and forward_ports:
+        yield WakeCall(
+            round=schedule2.down_send,
+            sends=[(port, ("rr2", ldt.ldt_id, ldt.depth)) for port in forward_ports],
+        )
+    return ldt

@@ -1,0 +1,88 @@
+"""Transmission schedules for LDT procedures (paper Appendix A.1).
+
+All LDT procedures (broadcast, upcast, transmit-adjacent, ranking,
+re-orientation) are built on the same deterministic *transmission schedule*:
+a block of ``2 * n_bound + 1`` consecutive rounds in which a node at depth
+``d`` of its LDT is assigned five named rounds:
+
+=====================  =========================
+name                   round offset within block
+=====================  =========================
+``Down-Receive``       ``d``
+``Down-Send``          ``d + 1``
+``Side-Send-Receive``  ``n_bound + 1``
+``Up-Receive``         ``2 * n_bound - d + 1``
+``Up-Send``            ``2 * n_bound - d + 2``
+=====================  =========================
+
+(the root, at depth 0, only uses ``Down-Send``, ``Side-Send-Receive`` and
+``Up-Receive``).  Offsets are 1-based as in the paper.  Because all
+participants know ``n_bound`` and the block's start round, every procedure is
+globally synchronised without any extra communication, and each procedure
+costs O(1) awake rounds and O(n_bound) total rounds per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransmissionSchedule:
+    """Named round numbers of one schedule block for one node.
+
+    Instances are produced by :func:`schedule_for`; all values are *absolute*
+    round numbers.
+    """
+
+    block_start: int
+    n_bound: int
+    depth: int
+    down_receive: int
+    down_send: int
+    side: int
+    up_receive: int
+    up_send: int
+
+
+def block_length(n_bound: int) -> int:
+    """Return the number of rounds one schedule block occupies.
+
+    The paper uses ``2 * n_bound + 1`` named offsets (1-based); we reserve
+    ``2 * n_bound + 2`` rounds per block so that consecutive blocks never
+    overlap even for depth-0 corner cases.
+    """
+    if n_bound < 1:
+        raise ValueError(f"n_bound must be >= 1, got {n_bound}")
+    return 2 * n_bound + 2
+
+
+def schedule_for(block_start: int, n_bound: int, depth: int) -> TransmissionSchedule:
+    """Return the absolute named rounds for a node at *depth*.
+
+    ``block_start`` is the absolute round corresponding to offset 1 of the
+    block (i.e. the first usable round).
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    if depth > n_bound:
+        raise ValueError(
+            f"depth {depth} exceeds the LDT size bound {n_bound}; the bound "
+            "is too small for this component"
+        )
+    base = block_start - 1  # so that offset k lands on block_start + k - 1
+    return TransmissionSchedule(
+        block_start=block_start,
+        n_bound=n_bound,
+        depth=depth,
+        down_receive=base + max(1, depth),
+        down_send=base + depth + 1,
+        side=base + n_bound + 1,
+        up_receive=base + 2 * n_bound - depth + 1,
+        up_send=base + 2 * n_bound - depth + 2,
+    )
+
+
+def next_block(block_start: int, n_bound: int, blocks: int = 1) -> int:
+    """Return the start round of the block *blocks* after *block_start*."""
+    return block_start + blocks * block_length(n_bound)

@@ -1,0 +1,70 @@
+"""Labeled distance tree (LDT) per-node state.
+
+An LDT (paper Section 5.2 / Appendix A.1) is a rooted spanning tree of a
+connected node set in which every node knows
+
+* the ID of the tree's root (the *LDT ID*),
+* its own depth (hop distance to the root along tree edges), and
+* which of its ports lead to its parent and to its children.
+
+During construction each node starts as a singleton LDT (it is its own root
+with depth 0) and fragments are merged until one LDT spans the component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+
+@dataclass
+class LDTState:
+    """The local view one node has of the LDT it belongs to."""
+
+    #: ID of the LDT = ID of its root node.
+    ldt_id: int
+    #: This node's depth in the tree (0 for the root).
+    depth: int
+    #: Port leading to the parent, or ``None`` for the root.
+    parent_port: Optional[int]
+    #: Ports leading to the children (possibly empty).
+    children_ports: List[int] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        """True when this node is the root of its LDT."""
+        return self.parent_port is None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children in the LDT."""
+        return not self.children_ports
+
+    def copy(self) -> "LDTState":
+        """Return an independent copy (children list included)."""
+        return replace(self, children_ports=list(self.children_ports))
+
+    @classmethod
+    def singleton(cls, node_id: int) -> "LDTState":
+        """The initial state: every node is the root of its own LDT."""
+        return cls(ldt_id=node_id, depth=0, parent_port=None, children_ports=[])
+
+    def reroot_towards(self, new_ldt_id: int, new_depth: int,
+                       new_parent_port: Optional[int],
+                       old_parent_becomes_child: bool) -> None:
+        """Apply a re-orientation step during fragment merging.
+
+        ``new_parent_port`` becomes the parent; when
+        *old_parent_becomes_child* is True the previous parent port is added
+        to the children (this happens for nodes on the path from the merge
+        point to the old root).
+        """
+        old_parent = self.parent_port
+        self.ldt_id = new_ldt_id
+        self.depth = new_depth
+        if new_parent_port is not None and new_parent_port in self.children_ports:
+            self.children_ports.remove(new_parent_port)
+        self.parent_port = new_parent_port
+        if old_parent_becomes_child and old_parent is not None:
+            if old_parent not in self.children_ports:
+                self.children_ports.append(old_parent)

@@ -1,0 +1,76 @@
+"""Seeded randomness helpers.
+
+All randomized components of the library accept either an integer seed or a
+:class:`random.Random` instance.  These helpers normalise the two forms and
+derive independent per-node generators from a single master seed so that
+simulations are reproducible while still giving every node its own private
+source of randomness (as the SLEEPING-CONGEST model requires).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+SeedLike = Union[int, random.Random, None]
+
+#: Large prime used to decorrelate derived seeds.
+_DERIVE_PRIME = 2_147_483_647
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for *seed*.
+
+    ``None`` produces an OS-seeded generator, an ``int`` produces a
+    deterministic generator, and an existing :class:`random.Random` is
+    returned unchanged (so callers can share a generator).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_seed(master: SeedLike, index: int) -> int:
+    """Derive a deterministic child seed from *master* for entity *index*.
+
+    Used to give each simulated node an independent private generator that is
+    nevertheless fully determined by the run's master seed.
+    """
+    if isinstance(master, random.Random):
+        # Draw a base value once per call; deterministic given generator state.
+        base = master.randrange(2**63)
+    elif master is None:
+        base = random.randrange(2**63)
+    else:
+        base = int(master)
+    return (base * _DERIVE_PRIME + 0x9E3779B9 * (index + 1)) % (2**63)
+
+
+def spawn_rng(master: SeedLike, index: int) -> random.Random:
+    """Return an independent generator for entity *index* under *master*."""
+    return random.Random(derive_seed(master, index))
+
+
+def random_unique_ids(
+    count: int, id_space: int, rng: Optional[random.Random] = None
+) -> list:
+    """Sample *count* distinct integer IDs from ``[1, id_space]``.
+
+    The paper's algorithms assume unique IDs drawn from a range ``[1, I]``
+    that may be polynomially (or more) larger than the number of nodes.  IDs
+    are sampled without replacement.
+    """
+    if count > id_space:
+        raise ValueError(
+            f"cannot draw {count} unique ids from a space of size {id_space}"
+        )
+    rng = rng or random.Random()
+    if id_space <= 4 * count:
+        population = list(range(1, id_space + 1))
+        return rng.sample(population, count)
+    chosen: set = set()
+    while len(chosen) < count:
+        chosen.add(rng.randint(1, id_space))
+    result = list(chosen)
+    rng.shuffle(result)
+    return result

@@ -1,0 +1,27 @@
+"""SLEEPING-CONGEST simulator: network, round driver, metrics, tracing."""
+
+from repro.sim.actions import WakeCall, broadcast_sends, listen
+from repro.sim.context import NodeContext
+from repro.sim.message import Envelope, estimate_bits
+from repro.sim.metrics import NodeMetrics, RunMetrics
+from repro.sim.network import Network
+from repro.sim.runner import ProtocolFactory, RunResult, Simulator, run_protocol
+from repro.sim.trace import MessageEvent, Trace
+
+__all__ = [
+    "Envelope",
+    "MessageEvent",
+    "Network",
+    "NodeContext",
+    "NodeMetrics",
+    "ProtocolFactory",
+    "RunMetrics",
+    "RunResult",
+    "Simulator",
+    "Trace",
+    "WakeCall",
+    "broadcast_sends",
+    "estimate_bits",
+    "listen",
+    "run_protocol",
+]

@@ -1,0 +1,64 @@
+"""Protocol actions: the contract between node protocols and the runner.
+
+Protocols in this library are Python *generator functions*.  Each node's
+generator repeatedly yields a :class:`WakeCall` — "wake me up at absolute
+round ``r``; in that round send these messages" — and is resumed with the
+list of messages the node received in that round.  When the generator
+returns, the node has terminated and its return value becomes the node's
+output.
+
+This mirrors the paper's sleeping model exactly:
+
+* A node is awake in a round if and only if it yields a ``WakeCall`` for that
+  round.  Rounds between two consecutive wake calls are sleeping rounds.
+* In an awake round the node (1) performs local computation, (2) sends its
+  queued messages, (3) receives the messages sent to it *in the same round*
+  by awake neighbours.  Messages sent to a sleeping node are lost.
+* The awake complexity of a node is simply the number of ``WakeCall``s it
+  executes before terminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+#: An outgoing message: (port, payload).
+Send = Tuple[int, Any]
+#: An incoming message: (arrival port, payload).
+Receive = Tuple[int, Any]
+
+
+@dataclass
+class WakeCall:
+    """One awake round requested by a protocol.
+
+    Attributes
+    ----------
+    round:
+        Absolute round number (non-negative integer) at which the node wants
+        to be awake.  Must be strictly greater than the node's previous awake
+        round.
+    sends:
+        Messages to transmit in that round, as ``(port, payload)`` pairs.
+        Sending the same payload on every port ("broadcast to neighbours") is
+        expressed by listing every port explicitly; helper
+        :func:`broadcast_sends` builds that list.
+    """
+
+    round: int
+    sends: List[Send] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError(f"round numbers are non-negative, got {self.round}")
+
+
+def broadcast_sends(ports: Sequence[int], payload: Any) -> List[Send]:
+    """Build a send list delivering *payload* on every port in *ports*."""
+    return [(port, payload) for port in ports]
+
+
+def listen(round_number: int) -> WakeCall:
+    """Build a wake call that only listens (sends nothing) in *round_number*."""
+    return WakeCall(round=round_number, sends=[])

@@ -1,0 +1,117 @@
+"""Run metrics: awake complexity, round complexity, message statistics.
+
+These are the quantities the paper's theorems are stated in terms of:
+
+* **awake complexity** — the maximum, over nodes, of the number of rounds the
+  node was awake before terminating (:attr:`RunMetrics.awake_complexity`);
+* **node-averaged awake complexity** — the average number of awake rounds
+  (:attr:`RunMetrics.node_averaged_awake`), the measure of Chatterjee, Gmyr
+  and Pandurangan which the paper contrasts with;
+* **round complexity** — the total number of rounds (sleeping + awake) until
+  the last node terminates (:attr:`RunMetrics.round_complexity`).
+
+Message counts and the largest message observed are recorded so CONGEST
+compliance can be reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class NodeMetrics:
+    """Per-node counters accumulated by the runner."""
+
+    awake_rounds: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bits_sent: int = 0
+    max_message_bits: int = 0
+    terminated_round: Optional[int] = None
+
+    def record_awake(self) -> None:
+        """Count one awake round."""
+        self.awake_rounds += 1
+
+    def record_send(self, bits: int) -> None:
+        """Count one sent message of the given size."""
+        self.messages_sent += 1
+        self.bits_sent += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+
+    def record_receive(self) -> None:
+        """Count one received message."""
+        self.messages_received += 1
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics for one simulation run."""
+
+    per_node: List[NodeMetrics] = field(default_factory=list)
+    #: Highest round index in which any node was awake (None if none ever was).
+    last_active_round: Optional[int] = None
+    #: Number of distinct rounds in which at least one node was awake.
+    active_rounds: int = 0
+
+    @property
+    def node_count(self) -> int:
+        """Number of simulated nodes."""
+        return len(self.per_node)
+
+    @property
+    def awake_complexity(self) -> int:
+        """Worst-case awake complexity: ``max_v A_v``."""
+        if not self.per_node:
+            return 0
+        return max(m.awake_rounds for m in self.per_node)
+
+    @property
+    def node_averaged_awake(self) -> float:
+        """Node-averaged awake complexity: ``(1/n) * sum_v A_v``."""
+        if not self.per_node:
+            return 0.0
+        return sum(m.awake_rounds for m in self.per_node) / len(self.per_node)
+
+    @property
+    def total_awake_rounds(self) -> int:
+        """Total awake node-rounds across all nodes (energy proxy)."""
+        return sum(m.awake_rounds for m in self.per_node)
+
+    @property
+    def round_complexity(self) -> int:
+        """Total number of rounds until the last node terminates.
+
+        Rounds are 0-indexed internally, so this is ``last_active_round + 1``
+        (0 when no node was ever awake).
+        """
+        if self.last_active_round is None:
+            return 0
+        return self.last_active_round + 1
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages delivered or attempted across the run."""
+        return sum(m.messages_sent for m in self.per_node)
+
+    @property
+    def max_message_bits(self) -> int:
+        """Largest single message (in estimated bits) sent during the run."""
+        if not self.per_node:
+            return 0
+        return max(m.max_message_bits for m in self.per_node)
+
+    def summary(self) -> Dict[str, Any]:
+        """Return a plain-dict summary convenient for tables and JSON."""
+        return {
+            "nodes": self.node_count,
+            "awake_complexity": self.awake_complexity,
+            "node_averaged_awake": round(self.node_averaged_awake, 3),
+            "round_complexity": self.round_complexity,
+            "active_rounds": self.active_rounds,
+            "total_messages": self.total_messages,
+            "max_message_bits": self.max_message_bits,
+        }

@@ -1,0 +1,120 @@
+"""Port-numbered anonymous network built from a ``networkx`` graph.
+
+The network fixes, for every node, an arbitrary but deterministic numbering
+of its incident edges (its *ports*).  Protocols address neighbours only by
+port number; the mapping from ports to graph nodes lives here and is used by
+the runner to route messages and by the harness to translate protocol
+outputs back to graph node labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PortMap:
+    """Port tables for one node.
+
+    ``neighbors[p]`` is the global index of the neighbour reached through
+    port ``p`` and ``port_of[u]`` is the port leading to global index ``u``.
+    """
+
+    neighbors: Tuple[int, ...]
+    port_of: Dict[int, int]
+
+
+class Network:
+    """An anonymous, port-numbered view of an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        Any simple undirected :class:`networkx.Graph`.  Self-loops are
+        rejected (the model has none); multigraphs are rejected.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.is_directed() or graph.is_multigraph():
+            raise ConfigurationError(
+                "the SLEEPING-CONGEST simulator requires a simple undirected graph"
+            )
+        if any(u == v for u, v in graph.edges):
+            raise ConfigurationError("self-loops are not allowed")
+        self._graph = graph
+        self._labels: List[Any] = list(graph.nodes)
+        self._index_of: Dict[Any, int] = {
+            label: index for index, label in enumerate(self._labels)
+        }
+        self._ports: List[PortMap] = []
+        for label in self._labels:
+            neighbor_indices = tuple(
+                sorted(self._index_of[v] for v in graph.neighbors(label))
+            )
+            port_of = {u: p for p, u in enumerate(neighbor_indices)}
+            self._ports.append(PortMap(neighbors=neighbor_indices, port_of=port_of))
+
+    # ------------------------------------------------------------------ #
+    # Size / lookup helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying graph object (not copied)."""
+        return self._graph
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return self._graph.number_of_edges()
+
+    def labels(self) -> List[Any]:
+        """Graph node labels in simulator index order."""
+        return list(self._labels)
+
+    def label_of(self, index: int) -> Any:
+        """Return the graph label of simulator index *index*."""
+        return self._labels[index]
+
+    def index_of(self, label: Any) -> int:
+        """Return the simulator index of graph node *label*."""
+        return self._index_of[label]
+
+    def degree(self, index: int) -> int:
+        """Return the degree of the node with simulator index *index*."""
+        return len(self._ports[index].neighbors)
+
+    def neighbor_via_port(self, index: int, port: int) -> int:
+        """Return the simulator index reached from *index* through *port*."""
+        ports = self._ports[index]
+        if not 0 <= port < len(ports.neighbors):
+            raise ConfigurationError(
+                f"node {self._labels[index]} has ports 0..{len(ports.neighbors) - 1}, "
+                f"got {port}"
+            )
+        return ports.neighbors[port]
+
+    def port_towards(self, index: int, neighbor_index: int) -> int:
+        """Return the port of *index* leading to *neighbor_index*."""
+        ports = self._ports[index]
+        if neighbor_index not in ports.port_of:
+            raise ConfigurationError(
+                f"nodes {self._labels[index]} and {self._labels[neighbor_index]} "
+                "are not adjacent"
+            )
+        return ports.port_of[neighbor_index]
+
+    def max_degree(self) -> int:
+        """Return the maximum degree of the network (0 for edgeless graphs)."""
+        if not self._labels:
+            return 0
+        return max(len(p.neighbors) for p in self._ports)

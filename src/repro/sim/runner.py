@@ -1,0 +1,305 @@
+"""The SLEEPING-CONGEST round driver.
+
+:class:`Simulator` executes one protocol instance per node of a
+:class:`repro.sim.network.Network`.  Protocols are generator functions (see
+:mod:`repro.sim.actions`); the driver advances global time from one *active*
+round to the next, so algorithms whose round complexity is huge but whose
+awake complexity is small (the whole point of the paper) simulate in time
+proportional to the total number of awake node-rounds, not to the number of
+rounds.
+
+Round semantics (paper Section 1.3):
+
+1. every node awake in round ``r`` performs local computation and queues its
+   outgoing messages (this happened when its generator yielded the
+   :class:`~repro.sim.actions.WakeCall`),
+2. queued messages are transmitted,
+3. a message is received only if its destination is awake in the same round
+   ``r``; otherwise it is lost,
+4. awake nodes then receive their inbox (the generator is resumed with it)
+   and either terminate or schedule their next awake round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.errors import (
+    MessageTooLargeError,
+    ProtocolViolationError,
+    SimulationError,
+)
+from repro.rng import SeedLike, spawn_rng
+from repro.sim.actions import Receive, WakeCall
+from repro.sim.context import NodeContext
+from repro.sim.message import estimate_bits
+from repro.sim.metrics import NodeMetrics, RunMetrics
+from repro.sim.network import Network
+from repro.sim.trace import MessageEvent, Trace
+
+#: A protocol factory: called once per node with its context, returns the
+#: node's generator.
+ProtocolFactory = Callable[[NodeContext], Generator[WakeCall, List[Receive], Any]]
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one simulation run."""
+
+    #: Mapping from graph node label to the protocol's return value.
+    outputs: Dict[Any, Any]
+    #: Aggregated metrics (awake/round complexity, messages).
+    metrics: RunMetrics
+    #: Per-node awake counts keyed by graph label (convenience view).
+    awake_by_label: Dict[Any, int] = field(default_factory=dict)
+    #: Optional trace (present only when tracing was enabled).
+    trace: Optional[Trace] = None
+
+    def output_set(self, predicate: Callable[[Any], bool] = bool) -> set:
+        """Return the labels whose output satisfies *predicate*.
+
+        The MIS protocols return ``True`` for nodes that joined the MIS, so
+        ``result.output_set()`` is the computed MIS.
+        """
+        return {label for label, value in self.outputs.items() if predicate(value)}
+
+
+class Simulator:
+    """Drives a set of per-node protocol generators over a network.
+
+    Parameters
+    ----------
+    network:
+        The port-numbered network to simulate on.
+    seed:
+        Master seed; every node receives an independent generator derived
+        from it.
+    message_bit_limit:
+        If not ``None``, sending a message whose estimated size exceeds this
+        many bits raises :class:`MessageTooLargeError`.  The experiment
+        harness sets it to a multiple of ``log2(N)`` to enforce CONGEST.
+    max_active_rounds:
+        Safety valve: abort (with :class:`SimulationError`) if more than this
+        many *active* rounds elapse, which indicates a livelocked protocol.
+    max_awake_per_node:
+        Safety valve on any single node's awake rounds.
+    trace:
+        When True, record a :class:`~repro.sim.trace.Trace` of awake sets and
+        message events.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed: SeedLike = None,
+        message_bit_limit: Optional[int] = None,
+        max_active_rounds: int = 5_000_000,
+        max_awake_per_node: int = 1_000_000,
+        trace: bool = False,
+    ) -> None:
+        self._network = network
+        self._seed = seed
+        self._message_bit_limit = message_bit_limit
+        self._max_active_rounds = max_active_rounds
+        self._max_awake_per_node = max_awake_per_node
+        self._trace_enabled = trace
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        protocol: ProtocolFactory,
+        inputs: Optional[Dict[str, Any]] = None,
+        local_inputs: Optional[Dict[Any, Any]] = None,
+    ) -> RunResult:
+        """Run *protocol* on every node and return the :class:`RunResult`.
+
+        *inputs* is the globally-known input dictionary shared by all nodes;
+        *local_inputs* optionally maps graph labels to per-node inputs (e.g.
+        externally assigned IDs).
+        """
+        network = self._network
+        n = network.size
+        inputs = dict(inputs or {})
+        local_inputs = dict(local_inputs or {})
+
+        generators: List[Optional[Generator[WakeCall, List[Receive], Any]]] = []
+        outputs: Dict[Any, Any] = {}
+        metrics = RunMetrics(per_node=[NodeMetrics() for _ in range(n)])
+        trace = Trace() if self._trace_enabled else None
+
+        # (round, node_index, WakeCall) heap of pending wake-ups.
+        pending: List[tuple] = []
+        last_round_of: List[int] = [-1] * n
+
+        for index in range(n):
+            label = network.label_of(index)
+            ctx = NodeContext(
+                degree=network.degree(index),
+                ports=list(range(network.degree(index))),
+                rng=spawn_rng(self._seed, index),
+                inputs=inputs,
+                local_input=local_inputs.get(label),
+                debug_label=label,
+            )
+            gen = protocol(ctx)
+            generators.append(gen)
+            try:
+                first_call = next(gen)
+            except StopIteration as stop:
+                outputs[label] = stop.value
+                metrics.per_node[index].terminated_round = -1
+                generators[index] = None
+                continue
+            self._validate_call(first_call, index, previous_round=-1)
+            heapq.heappush(pending, (first_call.round, index, first_call))
+
+        active_rounds = 0
+        while pending:
+            current_round = pending[0][0]
+            active_rounds += 1
+            if active_rounds > self._max_active_rounds:
+                raise SimulationError(
+                    f"exceeded {self._max_active_rounds} active rounds; "
+                    "protocol appears to be livelocked"
+                )
+
+            # Pop every node awake in this round.
+            awake: Dict[int, WakeCall] = {}
+            while pending and pending[0][0] == current_round:
+                _, index, call = heapq.heappop(pending)
+                awake[index] = call
+
+            # Transmit: deliveries[index] collects (arrival_port, payload).
+            deliveries: Dict[int, List[Receive]] = {index: [] for index in awake}
+            for index, call in awake.items():
+                node_metrics = metrics.per_node[index]
+                node_metrics.record_awake()
+                if node_metrics.awake_rounds > self._max_awake_per_node:
+                    raise SimulationError(
+                        f"node {network.label_of(index)} exceeded "
+                        f"{self._max_awake_per_node} awake rounds"
+                    )
+                for port, payload in call.sends:
+                    receiver = network.neighbor_via_port(index, port)
+                    bits = estimate_bits(payload)
+                    if (
+                        self._message_bit_limit is not None
+                        and bits > self._message_bit_limit
+                    ):
+                        raise MessageTooLargeError(
+                            f"node {network.label_of(index)} sent a {bits}-bit "
+                            f"message (limit {self._message_bit_limit}) in round "
+                            f"{current_round}: {payload!r}"
+                        )
+                    node_metrics.record_send(bits)
+                    delivered = receiver in awake
+                    if delivered:
+                        arrival_port = network.port_towards(receiver, index)
+                        deliveries[receiver].append((arrival_port, payload))
+                        metrics.per_node[receiver].record_receive()
+                    if trace is not None:
+                        trace.record_message(
+                            MessageEvent(
+                                round=current_round,
+                                sender=network.label_of(index),
+                                receiver=network.label_of(receiver),
+                                payload=payload,
+                                delivered=delivered,
+                            )
+                        )
+
+            if trace is not None:
+                trace.record_awake(
+                    current_round,
+                    [network.label_of(index) for index in awake],
+                )
+
+            metrics.last_active_round = current_round
+            metrics.active_rounds = active_rounds
+
+            # Resume every awake node with its inbox.
+            for index in sorted(awake):
+                gen = generators[index]
+                assert gen is not None
+                inbox = deliveries[index]
+                try:
+                    next_call = gen.send(inbox)
+                except StopIteration as stop:
+                    label = network.label_of(index)
+                    outputs[label] = stop.value
+                    metrics.per_node[index].terminated_round = current_round
+                    generators[index] = None
+                    continue
+                self._validate_call(next_call, index, previous_round=current_round)
+                last_round_of[index] = current_round
+                heapq.heappush(pending, (next_call.round, index, next_call))
+
+        # Nodes that never terminated explicitly (generator exhausted without
+        # return) have output None already; nodes still pending cannot exist
+        # here because the loop drains the heap.
+        awake_by_label = {
+            network.label_of(index): metrics.per_node[index].awake_rounds
+            for index in range(n)
+        }
+        missing = [
+            network.label_of(index)
+            for index in range(n)
+            if network.label_of(index) not in outputs
+        ]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} node(s) never terminated: {missing[:5]}"
+            )
+        return RunResult(
+            outputs=outputs,
+            metrics=metrics,
+            awake_by_label=awake_by_label,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _validate_call(
+        self, call: WakeCall, index: int, previous_round: int
+    ) -> None:
+        """Check that a wake call respects the round structure and ports."""
+        if not isinstance(call, WakeCall):
+            raise ProtocolViolationError(
+                f"protocol yielded {type(call).__name__}; expected WakeCall"
+            )
+        if call.round <= previous_round:
+            raise ProtocolViolationError(
+                f"node {self._network.label_of(index)} scheduled round "
+                f"{call.round} which is not after its previous awake round "
+                f"{previous_round}"
+            )
+        degree = self._network.degree(index)
+        for port, _ in call.sends:
+            if not 0 <= port < degree:
+                raise ProtocolViolationError(
+                    f"node {self._network.label_of(index)} sent on port {port} "
+                    f"but has only {degree} port(s)"
+                )
+
+
+def run_protocol(
+    graph,
+    protocol: ProtocolFactory,
+    inputs: Optional[Dict[str, Any]] = None,
+    local_inputs: Optional[Dict[Any, Any]] = None,
+    seed: SeedLike = None,
+    message_bit_limit: Optional[int] = None,
+    trace: bool = False,
+    max_active_rounds: int = 5_000_000,
+) -> RunResult:
+    """Convenience wrapper: build the network and run *protocol* on *graph*."""
+    network = Network(graph)
+    simulator = Simulator(
+        network,
+        seed=seed,
+        message_bit_limit=message_bit_limit,
+        trace=trace,
+        max_active_rounds=max_active_rounds,
+    )
+    return simulator.run(protocol, inputs=inputs, local_inputs=local_inputs)

@@ -1,0 +1,61 @@
+"""Optional event tracing for the simulator.
+
+Tracing is off by default (it costs memory proportional to the number of
+awake node-rounds).  When enabled it records, per active round, which nodes
+were awake and which messages were delivered or lost.  Examples and tests use
+it to inspect and assert on the exact communication pattern of the paper's
+algorithms (e.g. that VT-MIS nodes are awake exactly in their communication
+set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message transmission attempt."""
+
+    round: int
+    sender: Any
+    receiver: Any
+    payload: Any
+    delivered: bool
+
+
+@dataclass
+class Trace:
+    """Collected simulation events."""
+
+    #: Mapping round -> list of node labels awake in that round.
+    awake_by_round: Dict[int, List[Any]] = field(default_factory=dict)
+    #: All message events in chronological order.
+    messages: List[MessageEvent] = field(default_factory=list)
+
+    def record_awake(self, round_number: int, labels: List[Any]) -> None:
+        """Record the set of awake nodes for a round."""
+        self.awake_by_round[round_number] = list(labels)
+
+    def record_message(self, event: MessageEvent) -> None:
+        """Record one message transmission attempt."""
+        self.messages.append(event)
+
+    def awake_rounds_of(self, label: Any) -> List[int]:
+        """Return the sorted list of rounds in which *label* was awake."""
+        return sorted(
+            r for r, labels in self.awake_by_round.items() if label in labels
+        )
+
+    def delivered_messages(self) -> List[MessageEvent]:
+        """Return only the messages that reached an awake receiver."""
+        return [m for m in self.messages if m.delivered]
+
+    def lost_messages(self) -> List[MessageEvent]:
+        """Return messages that were lost because the receiver was asleep."""
+        return [m for m in self.messages if not m.delivered]
+
+    def active_rounds(self) -> List[int]:
+        """Return all rounds in which at least one node was awake."""
+        return sorted(self.awake_by_round)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators
+
+
+@pytest.fixture
+def small_gnp():
+    """A fixed, moderately dense random graph."""
+    return generators.gnp_graph(40, p=0.15, seed=7)
+
+
+@pytest.fixture
+def sparse_gnp():
+    """A fixed sparse random graph (may be disconnected)."""
+    return generators.gnp_graph(60, expected_degree=3.0, seed=11)
+
+
+@pytest.fixture
+def path_graph():
+    return generators.path_graph(17)
+
+
+@pytest.fixture
+def cycle_graph():
+    return generators.cycle_graph(12)
+
+
+@pytest.fixture
+def clique():
+    return generators.complete_graph(9)
+
+
+@pytest.fixture
+def star():
+    return generators.star_graph(10)
+
+
+@pytest.fixture
+def grid():
+    return generators.grid_graph(5, 5)
+
+
+@pytest.fixture
+def tree_graph():
+    return generators.random_tree(25, seed=3)
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Three components: a path, a cycle and an isolated node."""
+    graph = nx.disjoint_union(generators.path_graph(6), generators.cycle_graph(5))
+    graph = nx.disjoint_union(graph, generators.empty_graph(1))
+    return nx.convert_node_labels_to_integers(graph)
+
+
+@pytest.fixture(params=["path", "cycle", "clique", "star", "gnp", "tree"])
+def any_small_graph(request):
+    """Parametrised fixture covering several small topologies."""
+    builders = {
+        "path": lambda: generators.path_graph(11),
+        "cycle": lambda: generators.cycle_graph(10),
+        "clique": lambda: generators.complete_graph(7),
+        "star": lambda: generators.star_graph(9),
+        "gnp": lambda: generators.gnp_graph(24, p=0.2, seed=5),
+        "tree": lambda: generators.random_tree(15, seed=9),
+    }
+    return builders[request.param]()

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "awake_mis" in out and "E8" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure"]) == 0
+        out = capsys.readouterr().out
+        assert "S_3" in out and "[3, 4, 5]" in out
+
+    def test_run_luby(self, capsys):
+        assert main(["run", "--algorithm", "luby", "--family", "gnp",
+                     "--n", "32", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "awake_complexity" in out
+
+    def test_run_vt_mis(self, capsys):
+        assert main(["run", "--algorithm", "vt_mis", "--family", "cycle",
+                     "--n", "24", "--seed", "2"]) == 0
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                     "--families", "gnp", "--repetitions", "1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep results" in out
+
+    def test_experiment_e8(self, capsys):
+        assert main(["experiment", "E8"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "bogus"])

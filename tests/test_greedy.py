@@ -1,0 +1,114 @@
+"""Tests for sequential randomized greedy MIS and residual sparsity (Lemma 2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import greedy
+from repro.core.mis import greedy_mis_from_order, is_maximal_independent_set
+from repro.graphs import generators
+
+
+class TestRandomOrder:
+    def test_is_permutation(self, small_gnp):
+        order = greedy.random_order(small_gnp, seed=3)
+        assert sorted(order) == sorted(small_gnp.nodes)
+
+    def test_seed_reproducibility(self, small_gnp):
+        assert greedy.random_order(small_gnp, seed=5) == \
+            greedy.random_order(small_gnp, seed=5)
+
+    def test_different_seeds_differ(self, small_gnp):
+        assert greedy.random_order(small_gnp, seed=1) != \
+            greedy.random_order(small_gnp, seed=2)
+
+
+class TestRandomizedGreedy:
+    def test_output_is_mis(self, any_small_graph):
+        result = greedy.randomized_greedy_mis(any_small_graph, seed=13)
+        assert is_maximal_independent_set(any_small_graph, result)
+
+    def test_trace_consistency(self, small_gnp):
+        trace = greedy.randomized_greedy_trace(small_gnp, seed=4)
+        assert trace.mis == greedy_mis_from_order(small_gnp, trace.order)
+        # Every MIS node joined at its own decision position.
+        for node in trace.mis:
+            assert trace.joined_at[node] == trace.decided_at[node]
+        # Every node is decided.
+        assert set(trace.decided_at) == set(small_gnp.nodes)
+
+    def test_decided_at_monotone_with_blocking(self, small_gnp):
+        trace = greedy.randomized_greedy_trace(small_gnp, seed=4)
+        for node in small_gnp.nodes:
+            if node not in trace.mis:
+                # A non-MIS node was decided when some neighbour joined.
+                assert any(
+                    neighbor in trace.mis
+                    and trace.joined_at[neighbor] == trace.decided_at[node]
+                    for neighbor in small_gnp.neighbors(node)
+                )
+
+
+class TestComposability:
+    @pytest.mark.parametrize("split", [1, 5, 13, 20])
+    def test_composability_on_gnp(self, small_gnp, split):
+        order = greedy.random_order(small_gnp, seed=9)
+        assert greedy.composability_check(small_gnp, order, split)
+
+    def test_composability_on_structured_graphs(self, any_small_graph):
+        order = greedy.random_order(any_small_graph, seed=2)
+        split = max(1, any_small_graph.number_of_nodes() // 3)
+        assert greedy.composability_check(any_small_graph, order, split)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=35),
+           st.randoms(use_true_random=False))
+    def test_composability_property(self, n, rng):
+        graph = nx.gnp_random_graph(n, 0.3, seed=rng.randrange(2**31))
+        order = list(graph.nodes)
+        rng.shuffle(order)
+        split = rng.randint(1, n)
+        assert greedy.composability_check(graph, order, split)
+
+
+class TestResidualSparsity:
+    def test_residual_graph_excludes_covered_nodes(self, small_gnp):
+        order = greedy.random_order(small_gnp, seed=21)
+        residual = greedy.residual_graph(small_gnp, order, t=10)
+        prefix = order[:10]
+        prefix_mis = greedy_mis_from_order(small_gnp.subgraph(prefix), prefix)
+        covered = greedy.closed_neighborhood(small_gnp, prefix_mis)
+        assert not (set(residual.nodes) & covered)
+
+    def test_residual_degree_decreases_with_prefix(self):
+        graph = generators.gnp_graph(400, expected_degree=20, seed=5)
+        order = greedy.random_order(graph, seed=6)
+        early = greedy.residual_max_degree(graph, order, t=10)
+        late = greedy.residual_max_degree(graph, order, t=200)
+        assert late <= early
+
+    def test_residual_graph_parameter_validation(self, small_gnp):
+        order = greedy.random_order(small_gnp, seed=1)
+        with pytest.raises(ValueError):
+            greedy.residual_graph(small_gnp, order, t=0)
+        with pytest.raises(ValueError):
+            greedy.residual_graph(small_gnp, order, t=5, t_prime=4)
+
+    def test_lemma2_bound_holds_on_random_graph(self):
+        # Lemma 2 with eps = 1/16 on a 512-node graph; the bound is loose, so
+        # a single run comfortably respects it.
+        graph = generators.gnp_graph(512, expected_degree=16, seed=8)
+        points = greedy.residual_sparsity_profile(
+            graph, prefix_sizes=[8, 16, 32, 64, 128], seed=3
+        )
+        assert points, "profile should produce measurements"
+        assert all(p.within_bound for p in points)
+
+    def test_profile_skips_invalid_prefixes(self, small_gnp):
+        points = greedy.residual_sparsity_profile(
+            small_gnp, prefix_sizes=[0, 10**6], seed=1
+        )
+        assert points == []

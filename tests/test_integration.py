@@ -1,0 +1,87 @@
+"""Cross-algorithm integration tests.
+
+These tests exercise several modules together: every algorithm on the same
+workloads, LFMIS agreement between the three greedy-order algorithms, and
+the awake-complexity ordering the paper's comparison section describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.common import mis_from_result
+from repro.algorithms.naive_greedy import naive_greedy_protocol
+from repro.algorithms.vt_mis import assign_sequential_ids, vt_mis_protocol
+from repro.core.mis import greedy_mis_from_order, is_maximal_independent_set
+from repro.experiments.harness import available_algorithms, run_mis
+from repro.graphs import generators
+from repro.sim import run_protocol
+
+WORKLOADS = {
+    "gnp": lambda: generators.gnp_graph(48, expected_degree=6, seed=31),
+    "rgg": lambda: generators.random_geometric(48, seed=32),
+    "tree": lambda: generators.random_tree(48, seed=33),
+    "powerlaw": lambda: generators.barabasi_albert(48, seed=34),
+    "disconnected": lambda: generators.bounded_degree_graph(48, 3, seed=35),
+}
+
+
+class TestAllAlgorithmsAllWorkloads:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("algorithm", sorted(
+        set(available_algorithms())
+    ))
+    def test_valid_mis_everywhere(self, workload, algorithm):
+        graph = WORKLOADS[workload]()
+        result = run_mis(graph, algorithm=algorithm, seed=7)
+        assert result.verified, (
+            f"{algorithm} produced an invalid MIS on {workload}"
+        )
+
+
+class TestLFMISAgreement:
+    def test_vt_mis_and_naive_greedy_agree_given_same_ids(self):
+        graph = generators.gnp_graph(40, expected_degree=5, seed=41)
+        order = sorted(graph.nodes, key=lambda v: (v * 7919) % 101)
+        local_inputs = assign_sequential_ids(graph.nodes, seed_order=order)
+        sequential = greedy_mis_from_order(graph, order)
+
+        vt = run_protocol(graph, vt_mis_protocol,
+                          inputs={"id_bound": len(order)},
+                          local_inputs=local_inputs, seed=1)
+        naive = run_protocol(graph, naive_greedy_protocol,
+                             inputs={"id_bound": len(order)},
+                             local_inputs=local_inputs, seed=1)
+        assert mis_from_result(vt) == sequential
+        assert mis_from_result(naive) == sequential
+
+
+class TestComparativeComplexity:
+    def test_awake_ordering_vt_vs_naive(self):
+        graph = generators.gnp_graph(128, expected_degree=6, seed=51)
+        vt = run_mis(graph, algorithm="vt_mis", seed=3)
+        naive = run_mis(graph, algorithm="naive_greedy", seed=3)
+        assert vt.metrics.awake_complexity < naive.metrics.awake_complexity / 4
+
+    def test_awake_mis_has_tiny_average_awake(self):
+        graph = generators.gnp_graph(128, expected_degree=6, seed=52)
+        awake = run_mis(graph, algorithm="awake_mis", seed=4)
+        naive = run_mis(graph, algorithm="naive_greedy", seed=4)
+        assert awake.metrics.node_averaged_awake < \
+            naive.metrics.node_averaged_awake
+
+    def test_luby_rounds_smaller_than_awake_mis_rounds(self):
+        graph = generators.gnp_graph(96, expected_degree=6, seed=53)
+        luby = run_mis(graph, algorithm="luby", seed=5)
+        awake = run_mis(graph, algorithm="awake_mis", seed=5)
+        # The paper's trade-off: Awake-MIS pays heavily in round complexity.
+        assert luby.metrics.round_complexity < awake.metrics.round_complexity
+
+    def test_mis_sizes_comparable_across_algorithms(self):
+        graph = generators.gnp_graph(96, expected_degree=8, seed=54)
+        sizes = {
+            algorithm: len(run_mis(graph, algorithm=algorithm, seed=6).mis)
+            for algorithm in ("luby", "vt_mis", "awake_mis")
+        }
+        smallest, largest = min(sizes.values()), max(sizes.values())
+        assert largest <= 2 * smallest

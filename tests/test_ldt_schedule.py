@@ -1,0 +1,116 @@
+"""Tests for LDT transmission schedules and Cole–Vishkin colouring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldt import cole_vishkin as cv
+from repro.ldt import schedule
+
+
+class TestSchedule:
+    def test_block_length(self):
+        assert schedule.block_length(5) == 12
+        with pytest.raises(ValueError):
+            schedule.block_length(0)
+
+    def test_root_named_rounds(self):
+        s = schedule.schedule_for(block_start=100, n_bound=10, depth=0)
+        assert s.down_send == 100
+        assert s.side == 100 + 10
+        assert s.up_receive == 100 + 2 * 10
+
+    def test_parent_child_alignment_downward(self):
+        parent = schedule.schedule_for(50, 8, depth=3)
+        child = schedule.schedule_for(50, 8, depth=4)
+        assert parent.down_send == child.down_receive
+
+    def test_parent_child_alignment_upward(self):
+        parent = schedule.schedule_for(50, 8, depth=3)
+        child = schedule.schedule_for(50, 8, depth=4)
+        assert child.up_send == parent.up_receive
+
+    def test_side_round_is_depth_independent(self):
+        rounds = {schedule.schedule_for(7, 9, depth=d).side for d in range(9)}
+        assert len(rounds) == 1
+
+    def test_blocks_do_not_overlap(self):
+        first = schedule.schedule_for(0, 6, depth=6)
+        second_start = schedule.next_block(0, 6)
+        second = schedule.schedule_for(second_start, 6, depth=0)
+        assert second.down_send > first.up_send
+
+    def test_depth_beyond_bound_rejected(self):
+        with pytest.raises(ValueError):
+            schedule.schedule_for(0, 4, depth=5)
+        with pytest.raises(ValueError):
+            schedule.schedule_for(0, 4, depth=-1)
+
+    def test_next_block_multiple(self):
+        assert schedule.next_block(10, 5, blocks=3) == 10 + 3 * schedule.block_length(5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=200), st.data())
+    def test_alignment_property(self, n_bound, data):
+        # A component of at most n_bound nodes has tree depth <= n_bound - 1.
+        depth = data.draw(st.integers(min_value=1, max_value=n_bound - 1))
+        start = data.draw(st.integers(min_value=0, max_value=10**6))
+        child = schedule.schedule_for(start, n_bound, depth)
+        parent = schedule.schedule_for(start, n_bound, depth - 1)
+        assert parent.down_send == child.down_receive
+        assert child.up_send == parent.up_receive
+        assert child.down_receive < child.side < child.up_receive
+
+
+class TestColeVishkin:
+    def test_cv_step_lowers_colors(self):
+        assert cv.cv_step(0b1010, 0b1000) == 2 * 1 + 1
+        assert cv.cv_step(0b0111, 0b0110) == 2 * 0 + 1
+
+    def test_cv_step_requires_distinct(self):
+        with pytest.raises(ValueError):
+            cv.cv_step(5, 5)
+        with pytest.raises(ValueError):
+            cv.cv_step(-1, 2)
+
+    def test_root_step_differs_from_children_steps(self):
+        # root color 12; a child with color 9 differs at bit 0 and bit 2.
+        root_new = cv.cv_root_step(12)
+        child_new = cv.cv_step(9, 12)
+        assert root_new != child_new
+
+    def test_iterations_bound_monotone(self):
+        assert cv.iterations_to_six_colors(2**10) <= cv.iterations_to_six_colors(2**60)
+        assert cv.iterations_to_six_colors(8) >= 2
+
+    def test_sequential_forest_reaches_six_colors(self):
+        # A path (as a rooted tree) with large distinct IDs.
+        parents = {i: (i - 1 if i > 0 else None) for i in range(60)}
+        colors = {i: 1000 + 37 * i for i in range(60)}
+        final = cv.six_color_rooted_forest(parents, colors)
+        assert cv.is_proper_coloring(parents, final)
+        assert max(final.values()) < cv.FINAL_COLORS
+
+    def test_sequential_forest_star(self):
+        parents = {0: None}
+        parents.update({i: 0 for i in range(1, 40)})
+        colors = {i: i + 1 for i in range(40)}
+        final = cv.six_color_rooted_forest(parents, colors)
+        assert cv.is_proper_coloring(parents, final)
+        assert cv.color_classes_used(final.values()) <= cv.FINAL_COLORS
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=80),
+           st.randoms(use_true_random=False))
+    def test_random_rooted_tree_property(self, n, rng):
+        parents = {0: None}
+        for i in range(1, n):
+            parents[i] = rng.randrange(i)
+        ids = list(range(1, 10 * n, 7))[:n]
+        rng.shuffle(ids)
+        colors = {i: ids[i] for i in range(n)}
+        final = cv.six_color_rooted_forest(parents, colors)
+        assert cv.is_proper_coloring(parents, final)
+        assert max(final.values()) < cv.FINAL_COLORS

@@ -1,0 +1,49 @@
+"""Tests for seeded randomness helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import rng as rng_module
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert rng_module.make_rng(7).random() == rng_module.make_rng(7).random()
+
+    def test_random_instance_passthrough(self):
+        instance = random.Random(1)
+        assert rng_module.make_rng(instance) is instance
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_module.make_rng(None), random.Random)
+
+
+class TestDeriveSeed:
+    def test_deterministic_for_int_master(self):
+        assert rng_module.derive_seed(5, 3) == rng_module.derive_seed(5, 3)
+
+    def test_differs_across_indices(self):
+        seeds = {rng_module.derive_seed(5, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_spawn_rngs_are_independent(self):
+        values = {rng_module.spawn_rng(9, i).random() for i in range(50)}
+        assert len(values) == 50
+
+
+class TestRandomUniqueIds:
+    def test_ids_are_unique_and_in_range(self):
+        ids = rng_module.random_unique_ids(50, 1000, random.Random(1))
+        assert len(set(ids)) == 50
+        assert all(1 <= i <= 1000 for i in ids)
+
+    def test_dense_space(self):
+        ids = rng_module.random_unique_ids(10, 10, random.Random(2))
+        assert sorted(ids) == list(range(1, 11))
+
+    def test_impossible_request_rejected(self):
+        with pytest.raises(ValueError):
+            rng_module.random_unique_ids(11, 10)

@@ -1,0 +1,81 @@
+"""Tests for graph shattering by random partition (Lemma 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import shattering
+from repro.graphs import generators
+
+
+class TestPartition:
+    def test_every_node_assigned(self, small_gnp):
+        assignment = shattering.random_partition(small_gnp, classes=6, seed=1)
+        assert set(assignment) == set(small_gnp.nodes)
+        assert all(1 <= c <= 6 for c in assignment.values())
+
+    def test_single_class(self, small_gnp):
+        assignment = shattering.random_partition(small_gnp, classes=1, seed=1)
+        assert set(assignment.values()) == {1}
+
+    def test_invalid_class_count(self, small_gnp):
+        with pytest.raises(ValueError):
+            shattering.random_partition(small_gnp, classes=0)
+
+    def test_class_subgraphs_partition_nodes(self, small_gnp):
+        assignment = shattering.random_partition(small_gnp, classes=4, seed=2)
+        subgraphs = shattering.class_subgraphs(small_gnp, assignment)
+        all_nodes = [v for g in subgraphs.values() for v in g.nodes]
+        assert sorted(all_nodes) == sorted(small_gnp.nodes)
+
+    def test_component_sizes_sorted(self, disconnected_graph):
+        sizes = shattering.component_sizes(disconnected_graph)
+        assert sizes == sorted(sizes, reverse=True)
+        assert sum(sizes) == disconnected_graph.number_of_nodes()
+
+
+class TestLemma3:
+    def test_bound_formula(self):
+        # 6 * ln(100 / 0.5) = 31.79...
+        assert shattering.lemma3_bound(100, epsilon=0.5) == pytest.approx(31.79, abs=1e-2)
+        # Smaller epsilon means a larger (safer) bound.
+        assert shattering.lemma3_bound(100, epsilon=0.01) > \
+            shattering.lemma3_bound(100, epsilon=0.5)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            shattering.lemma3_bound(0)
+        with pytest.raises(ValueError):
+            shattering.lemma3_bound(10, epsilon=0.0)
+        with pytest.raises(ValueError):
+            shattering.lemma3_bound(10, epsilon=1.5)
+
+    def test_measurement_on_bounded_degree_graph(self):
+        graph = generators.bounded_degree_graph(600, max_degree=8, seed=4)
+        measurement = shattering.measure_shattering(graph, seed=5)
+        assert measurement.classes == 2 * measurement.max_degree
+        assert measurement.within_bound
+
+    def test_profile_respects_bound_with_high_probability(self):
+        graph = generators.bounded_degree_graph(500, max_degree=10, seed=6)
+        measurements = shattering.shattering_profile(graph, trials=5, seed=7)
+        assert shattering.empirical_failure_rate(measurements) == 0.0
+
+    def test_under_partition_is_not_shattered(self):
+        # Negative control: with 2 classes instead of 2*Delta a near-giant
+        # component survives, far above the Lemma 3 bound.
+        graph = generators.bounded_degree_graph(800, max_degree=12, seed=8)
+        measurement = shattering.measure_shattering(graph, seed=9, classes=2)
+        assert measurement.largest_component > measurement.lemma_bound
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            shattering.measure_shattering(generators.empty_graph(0))
+
+    def test_edgeless_graph_components_are_singletons(self):
+        graph = generators.empty_graph(30)
+        measurement = shattering.measure_shattering(graph, seed=1)
+        assert measurement.largest_component == 1
+
+    def test_failure_rate_empty_input(self):
+        assert shattering.empirical_failure_rate([]) == 0.0
