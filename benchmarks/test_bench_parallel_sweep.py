@@ -1,0 +1,59 @@
+"""Benchmark: parallel sweep executor vs the in-process serial path.
+
+Runs the same representative grid (two algorithms × several sizes × a few
+repetitions) once serially (``jobs=1``) and once fanned out over worker
+processes, prints both wall times and the speedup, and asserts the
+executor's core guarantee: the rows are byte-identical either way.
+
+The speedup itself is hardware-dependent (a single-core CI runner sees
+none, a laptop sees ~#cores once per-task cost dominates pool startup), so
+it is printed rather than asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.sweeps import run_sweep
+from repro.experiments.tables import format_table
+
+#: Representative grid: cheap baselines at sweep-relevant sizes.
+GRID_BY_SCALE = {
+    "smoke": dict(algorithms=["luby", "vt_mis"], sizes=[64, 128],
+                  families=("gnp",), repetitions=2, seed=21),
+    "default": dict(algorithms=["luby", "vt_mis"], sizes=[64, 128, 256],
+                    families=("gnp",), repetitions=3, seed=21),
+    "full": dict(algorithms=["luby", "vt_mis"], sizes=[64, 128, 256, 512],
+                 families=("gnp",), repetitions=3, seed=21),
+}
+
+
+def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale):
+    grid = GRID_BY_SCALE[repro_scale]
+    jobs = min(4, os.cpu_count() or 1)
+
+    started = time.perf_counter()
+    serial = run_sweep(**grid, jobs=1)
+    serial_seconds = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(**grid, jobs=jobs), rounds=1, iterations=1,
+    )
+    parallel_seconds = benchmark.stats.stats.mean
+
+    assert repr(parallel.rows()) == repr(serial.rows())
+    assert parallel.fits("awake_max") == serial.fits("awake_max")
+    assert parallel.all_verified
+
+    rows = [
+        {"executor": "serial (jobs=1)", "seconds": round(serial_seconds, 3)},
+        {"executor": f"parallel (jobs={jobs})",
+         "seconds": round(parallel_seconds, 3)},
+        {"executor": "speedup",
+         "seconds": round(serial_seconds / max(parallel_seconds, 1e-9), 2)},
+    ]
+    print()
+    print(format_table(rows, title=f"parallel sweep executor "
+                                   f"({os.cpu_count()} CPUs visible)"))
+    print(format_table(parallel.rows(), title="sweep rows (identical to serial)"))

@@ -7,9 +7,14 @@ Sub-commands
     Run one MIS algorithm on one generated graph and print its metrics.
 ``sweep``
     Run a scaling sweep over several sizes/algorithms and print the table
-    plus growth-law fits.
+    plus growth-law fits.  ``--jobs K`` fans the grid out over ``K`` worker
+    processes (``--jobs 0`` uses every CPU); because the sweep executor
+    derives every task seed up front, the printed rows and fits are
+    identical for every ``--jobs`` value.
 ``experiment``
     Regenerate one of the paper experiments E1–E8 (see DESIGN.md §3).
+    ``--jobs`` parallelises the sweep-backed experiments E1–E5 the same
+    way; E6–E8 ignore it.
 ``figure``
     Print the paper's Figure 1/2 worked example.
 ``list``
@@ -54,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               choices=sorted(FAMILIES))
     sweep_parser.add_argument("--repetitions", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for the grid "
+                                   "(1 = in-process, 0 = one per CPU)")
 
     experiment_parser = sub.add_parser("experiment",
                                        help="regenerate a paper experiment")
@@ -62,6 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--scale", default="default",
                                    choices=["smoke", "default", "full"])
     experiment_parser.add_argument("--seed", type=int, default=None)
+    experiment_parser.add_argument("--jobs", type=int, default=1,
+                                   help="worker processes for the sweep-backed "
+                                        "experiments E1-E5 (1 = in-process, "
+                                        "0 = one per CPU)")
 
     sub.add_parser("figure", help="print the Figure 1/2 worked example")
     sub.add_parser("list", help="list algorithms, families and experiments")
@@ -72,6 +84,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "jobs", None) is not None and args.jobs < 0:
+        parser.error("--jobs must be >= 0 (1 = in-process, 0 = one per CPU)")
 
     if args.command == "run":
         graph = by_name(args.family, args.n, seed=args.seed)
@@ -87,6 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             families=args.families,
             repetitions=args.repetitions,
             seed=args.seed,
+            jobs=args.jobs,
         )
         print(format_table(sweep.rows(), title="sweep results"))
         fits = sweep.fits("awake_max")
@@ -97,7 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "experiment":
         report = run_experiment(args.experiment_id, scale=args.scale,
-                                seed=args.seed)
+                                seed=args.seed, jobs=args.jobs)
         print(report.render())
         return 0 if report.passed else 1
 

@@ -1,5 +1,13 @@
-"""Experiment harness: single runs, sweeps, tables, and the E1–E8 registry."""
+"""Experiment harness: single runs, parallel sweeps, tables, and the E1–E8
+registry."""
 
+from repro.experiments.executor import (
+    SweepTask,
+    execute_tasks,
+    plan_sweep_tasks,
+    resolve_jobs,
+    run_task,
+)
 from repro.experiments.harness import (
     ALGORITHMS,
     MISRunResult,
@@ -11,7 +19,12 @@ from repro.experiments.harness import (
 __all__ = [
     "ALGORITHMS",
     "MISRunResult",
+    "SweepTask",
     "available_algorithms",
     "default_message_bit_limit",
+    "execute_tasks",
+    "plan_sweep_tasks",
+    "resolve_jobs",
     "run_mis",
+    "run_task",
 ]

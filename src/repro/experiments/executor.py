@@ -1,0 +1,178 @@
+"""Parallel sweep executor.
+
+The experiment grid (algorithm × graph family × n × repetition) is the
+product surface of the reproduction: every scaling claim in the paper is
+measured by sweeping it.  This module decomposes a sweep into independent,
+picklable :class:`SweepTask` specs and fans them out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Design invariants
+-----------------
+
+* **Seeds are derived up front.**  :func:`plan_sweep_tasks` consumes the
+  sweep's master RNG in exactly the order the historical serial loop did
+  (per ``(family, n)``: first the repetition graph seeds, then one run seed
+  per ``(algorithm, graph)``), so the task list — and therefore every result
+  — is a pure function of the sweep arguments.  Execution order can then be
+  arbitrary: parallel results are cell-for-cell identical to serial ones.
+* **Workers regenerate graphs locally.**  A task carries ``(family, n,
+  graph_seed)`` instead of a graph object; the worker rebuilds the graph
+  from the deterministic generator registry, so nothing graph-sized ever
+  crosses a process boundary in either direction.
+* **Results ship compact.**  Workers run :func:`repro.experiments.harness
+  .run_mis` with ``collect_raw=False`` so each result carries scalar
+  :class:`~repro.sim.metrics.CompactRunMetrics` rather than per-node
+  counter lists.
+
+``jobs=1`` (the default) executes in-process with no pool, which keeps
+single-run debugging, tracebacks and profiling simple.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import MISRunResult, run_mis
+from repro.graphs.generators import by_name
+from repro.rng import SeedLike, make_rng
+
+#: Upper bound for derived seeds (matches the serial sweep's historical
+#: ``rng.randrange(2**63)`` draws).
+_SEED_SPACE = 2**63
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable unit of sweep work: one algorithm run on one graph.
+
+    The task is self-contained: the worker regenerates the graph from
+    ``(family, n, graph_seed)`` and runs ``algorithm`` under ``run_seed``.
+    ``params`` holds algorithm-specific keyword arguments as a sorted tuple
+    of ``(key, value)`` pairs so the spec stays hashable and picklable.
+    """
+
+    algorithm: str
+    family: str
+    n: int
+    graph_seed: int
+    run_seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def cell_key(self) -> Tuple[str, str, int]:
+        """Grid cell this task belongs to: ``(algorithm, family, n)``."""
+        return (self.algorithm, self.family, self.n)
+
+
+def plan_sweep_tasks(
+    algorithms: Sequence[str],
+    sizes: Sequence[int],
+    families: Sequence[str] = ("gnp",),
+    repetitions: int = 3,
+    seed: SeedLike = None,
+    algorithm_params: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[SweepTask]:
+    """Expand a sweep grid into an ordered list of :class:`SweepTask`.
+
+    Every seed any task will ever use is drawn from the master RNG here, in
+    the fixed grid order (family → n → graph seeds → algorithm → run seeds).
+    Nothing downstream touches the master RNG, which is what makes parallel
+    execution bit-identical to serial execution.
+    """
+    rng = make_rng(seed)
+    algorithm_params = algorithm_params or {}
+    tasks: List[SweepTask] = []
+    for family in families:
+        for n in sizes:
+            graph_seeds = [rng.randrange(_SEED_SPACE) for _ in range(repetitions)]
+            for algorithm in algorithms:
+                params = tuple(sorted(algorithm_params.get(algorithm, {}).items()))
+                for graph_seed in graph_seeds:
+                    tasks.append(
+                        SweepTask(
+                            algorithm=algorithm,
+                            family=family,
+                            n=n,
+                            graph_seed=graph_seed,
+                            run_seed=rng.randrange(_SEED_SPACE),
+                            params=params,
+                        )
+                    )
+    return tasks
+
+
+@lru_cache(maxsize=32)
+def _build_graph(family: str, n: int, graph_seed: int):
+    """Worker-local graph cache.
+
+    A sweep runs every algorithm on the same repetition graphs, so
+    consecutive tasks in a worker's chunk usually share ``(family, n,
+    graph_seed)``; caching avoids regenerating the graph once per
+    algorithm.  Generators are deterministic, so cached and regenerated
+    graphs are identical — algorithms treat them as read-only.
+    """
+    return by_name(family, n, seed=graph_seed)
+
+
+def run_task(task: SweepTask) -> MISRunResult:
+    """Execute one :class:`SweepTask` (this is the worker entry point).
+
+    Regenerates the graph locally from the task's seeds and returns a
+    compact :class:`MISRunResult` cheap enough to pickle back.
+    """
+    graph = _build_graph(task.family, task.n, task.graph_seed)
+    return run_mis(
+        graph,
+        algorithm=task.algorithm,
+        seed=task.run_seed,
+        collect_raw=False,
+        **dict(task.params),
+    )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request to a concrete worker count.
+
+    ``None`` and ``0`` mean "one worker per CPU"; positive integers are
+    taken literally; anything else is rejected.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0 or None, got {jobs}")
+    return jobs
+
+
+def execute_tasks(
+    tasks: Iterable[SweepTask],
+    jobs: Optional[int] = 1,
+) -> List[MISRunResult]:
+    """Run every task and return results in task order.
+
+    With ``jobs=1`` (or a single task) the tasks run in-process.  Otherwise
+    they are fanned out over a :class:`~concurrent.futures
+    .ProcessPoolExecutor`; ``pool.map`` preserves input order, so the result
+    list is positionally aligned with *tasks* regardless of which worker
+    finished first.
+    """
+    task_list = list(tasks)
+    workers = resolve_jobs(jobs)
+    if workers == 1 or len(task_list) <= 1:
+        try:
+            return [run_task(task) for task in task_list]
+        finally:
+            # Don't pin graphs in the coordinator process beyond the sweep
+            # (pool workers release theirs when the pool shuts down).
+            _build_graph.cache_clear()
+    workers = min(workers, len(task_list))
+    # Per-task dispatch: specs are a few ints/strings and results are
+    # compact, so pickling is trivial — while tasks are emitted in
+    # ascending-n order, meaning any chunking would hand the expensive
+    # large-n tail to a single straggler worker.
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_task, task_list, chunksize=1))

@@ -15,21 +15,28 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 import networkx as nx
 
 from repro.core.mis import is_independent_set, is_maximal_independent_set
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, make_rng
-from repro.sim.metrics import RunMetrics
+from repro.sim.metrics import CompactRunMetrics, RunMetrics
 from repro.sim.runner import RunResult, run_protocol
 
 
 @dataclass
 class MISRunResult:
-    """Outcome of one algorithm run on one graph."""
+    """Outcome of one algorithm run on one graph.
+
+    ``metrics`` is a full :class:`~repro.sim.metrics.RunMetrics` by default;
+    runs executed with ``collect_raw=False`` (the parallel sweep workers)
+    carry the scalar :class:`~repro.sim.metrics.CompactRunMetrics` instead —
+    both expose the same aggregate attributes, so every consumer of
+    :meth:`summary` and the sweep layer works with either form.
+    """
 
     algorithm: str
     graph_nodes: int
@@ -38,11 +45,23 @@ class MISRunResult:
     verified: bool
     independent: bool
     maximal: bool
-    metrics: RunMetrics
+    metrics: Union[RunMetrics, CompactRunMetrics]
     wall_time_seconds: float
     seed: Optional[int] = None
     parameters: Dict[str, Any] = field(default_factory=dict)
     raw: Optional[RunResult] = None
+
+    def compact(self) -> "MISRunResult":
+        """Return a copy with scalar metrics and no raw simulation payload.
+
+        Used to keep results small (and cheap to pickle) before shipping
+        them from a worker process back to the sweep coordinator.
+        """
+        metrics = self.metrics
+        if isinstance(metrics, RunMetrics):
+            metrics = metrics.compact()
+        return replace(self, metrics=metrics, parameters=dict(self.parameters),
+                       raw=None)
 
     def summary(self) -> Dict[str, Any]:
         """Flat dictionary used by tables, sweeps and the CLI."""
@@ -204,6 +223,7 @@ def run_mis(
     verify: bool = True,
     enforce_congest: bool = True,
     keep_raw: bool = False,
+    collect_raw: bool = True,
     **params: Any,
 ) -> MISRunResult:
     """Run *algorithm* on *graph* and return a verified :class:`MISRunResult`.
@@ -225,6 +245,11 @@ def run_mis(
     keep_raw:
         When True the full :class:`repro.sim.runner.RunResult` (including the
         per-node outputs) is attached as ``raw``.
+    collect_raw:
+        When False the result is compacted: per-node metric counters are
+        collapsed into a :class:`~repro.sim.metrics.CompactRunMetrics` and no
+        raw payload is kept, so the result stays small enough to ship across
+        process boundaries.  The parallel sweep executor runs in this mode.
     params:
         Algorithm-specific parameters forwarded to the adapter.
     """
@@ -234,6 +259,11 @@ def run_mis(
         )
     if graph.number_of_nodes() == 0:
         raise ConfigurationError("cannot run an MIS algorithm on an empty graph")
+    if keep_raw and not collect_raw:
+        raise ConfigurationError(
+            "keep_raw=True requires collect_raw=True; a compacted result "
+            "cannot carry the raw simulation payload"
+        )
 
     if enforce_congest and "message_bit_limit" not in params:
         params["message_bit_limit"] = default_message_bit_limit(
@@ -252,7 +282,7 @@ def run_mis(
         independent = is_independent_set(graph, mis)
         maximal = is_maximal_independent_set(graph, mis)
 
-    return MISRunResult(
+    result = MISRunResult(
         algorithm=algorithm,
         graph_nodes=graph.number_of_nodes(),
         graph_edges=graph.number_of_edges(),
@@ -266,3 +296,4 @@ def run_mis(
         parameters={k: v for k, v in params.items() if k != "local_inputs"},
         raw=raw if keep_raw else None,
     )
+    return result if collect_raw else result.compact()

@@ -60,7 +60,10 @@ class ExperimentReport:
         return "\n".join(parts)
 
 
-ExperimentRunner = Callable[[str, SeedLike], ExperimentReport]
+#: Experiment runners take (scale, seed, jobs); *jobs* controls how many
+#: worker processes the underlying sweep uses (ignored by the
+#: single-process experiments E6-E8).
+ExperimentRunner = Callable[..., ExperimentReport]
 
 
 def _scaling_report(experiment_id: str, title: str, claim: str,
@@ -86,7 +89,8 @@ def _scaling_report(experiment_id: str, title: str, claim: str,
 # --------------------------------------------------------------------------- #
 # E1 / E2 / E3: Awake-MIS scaling and comparison
 # --------------------------------------------------------------------------- #
-def experiment_e1(scale: str = "default", seed: SeedLike = 1) -> ExperimentReport:
+def experiment_e1(scale: str = "default", seed: SeedLike = 1,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Theorem 13: awake complexity of Awake-MIS grows ~ log log n."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -94,6 +98,7 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1) -> ExperimentRepor
         families=("gnp", "rgg"),
         repetitions=SCALE_REPETITIONS[scale],
         seed=seed,
+        jobs=jobs,
     )
     return _scaling_report(
         "E1",
@@ -105,7 +110,8 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1) -> ExperimentRepor
     )
 
 
-def experiment_e2(scale: str = "default", seed: SeedLike = 2) -> ExperimentReport:
+def experiment_e2(scale: str = "default", seed: SeedLike = 2,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Theorem 13 comparison: Awake-MIS vs Luby / rank-greedy baselines."""
     sweep = run_sweep(
         algorithms=["awake_mis", "luby", "rank_greedy"],
@@ -113,6 +119,7 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2) -> ExperimentRepor
         families=("gnp",),
         repetitions=SCALE_REPETITIONS[scale],
         seed=seed,
+        jobs=jobs,
     )
     report = _scaling_report(
         "E2",
@@ -130,7 +137,8 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2) -> ExperimentRepor
     return report
 
 
-def experiment_e3(scale: str = "default", seed: SeedLike = 3) -> ExperimentReport:
+def experiment_e3(scale: str = "default", seed: SeedLike = 3,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Corollary 14: the round-efficient variant trades awake for rounds."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -138,6 +146,7 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3) -> ExperimentRepor
         families=("gnp",),
         repetitions=SCALE_REPETITIONS[scale],
         seed=seed,
+        jobs=jobs,
         algorithm_params={"awake_mis": {"variant": "round"}},
     )
     return _scaling_report(
@@ -153,7 +162,8 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3) -> ExperimentRepor
 # --------------------------------------------------------------------------- #
 # E4 / E5: the auxiliary MIS algorithms
 # --------------------------------------------------------------------------- #
-def experiment_e4(scale: str = "default", seed: SeedLike = 4) -> ExperimentReport:
+def experiment_e4(scale: str = "default", seed: SeedLike = 4,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Lemma 10: VT-MIS has O(log I) awake vs the naive O(I)."""
     sweep = run_sweep(
         algorithms=["vt_mis", "naive_greedy"],
@@ -161,6 +171,7 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4) -> ExperimentRepor
         families=("gnp", "path"),
         repetitions=SCALE_REPETITIONS[scale],
         seed=seed,
+        jobs=jobs,
     )
     report = _scaling_report(
         "E4",
@@ -184,7 +195,8 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4) -> ExperimentRepor
     return report
 
 
-def experiment_e5(scale: str = "default", seed: SeedLike = 5) -> ExperimentReport:
+def experiment_e5(scale: str = "default", seed: SeedLike = 5,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Lemma 11 / Corollary 12: LDT-MIS awake complexity on small components."""
     sizes = SCALE_SIZES[scale]
     sweep = run_sweep(
@@ -193,6 +205,7 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5) -> ExperimentRepor
         families=("gnp", "tree"),
         repetitions=SCALE_REPETITIONS[scale],
         seed=seed,
+        jobs=jobs,
     )
     return _scaling_report(
         "E5",
@@ -208,7 +221,8 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5) -> ExperimentRepor
 # --------------------------------------------------------------------------- #
 # E6 / E7: probabilistic lemmas
 # --------------------------------------------------------------------------- #
-def experiment_e6(scale: str = "default", seed: SeedLike = 6) -> ExperimentReport:
+def experiment_e6(scale: str = "default", seed: SeedLike = 6,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Lemma 2: residual sparsity of randomized greedy."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     graph = gnp_graph(n, expected_degree=16.0, seed=seed)
@@ -223,7 +237,8 @@ def experiment_e6(scale: str = "default", seed: SeedLike = 6) -> ExperimentRepor
     )
 
 
-def experiment_e7(scale: str = "default", seed: SeedLike = 7) -> ExperimentReport:
+def experiment_e7(scale: str = "default", seed: SeedLike = 7,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Lemma 3: shattering under a random 2-Delta partition."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     result = run_shattering_experiment(
@@ -244,7 +259,8 @@ def experiment_e7(scale: str = "default", seed: SeedLike = 7) -> ExperimentRepor
 # --------------------------------------------------------------------------- #
 # E8: the worked figure
 # --------------------------------------------------------------------------- #
-def experiment_e8(scale: str = "default", seed: SeedLike = 8) -> ExperimentReport:
+def experiment_e8(scale: str = "default", seed: SeedLike = 8,
+                  jobs: Optional[int] = 1) -> ExperimentReport:
     """Figures 1 and 2: the B([1,6]) worked example."""
     example = figure_example()
     expected = {"S_3": [3, 4, 5], "S_5": [5, 6], "common_round_3_5": 5}
@@ -284,8 +300,14 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
 
 
 def run_experiment(experiment_id: str, scale: str = "default",
-                   seed: SeedLike = None) -> ExperimentReport:
-    """Run one experiment by ID (``E1`` .. ``E8``)."""
+                   seed: SeedLike = None,
+                   jobs: Optional[int] = 1) -> ExperimentReport:
+    """Run one experiment by ID (``E1`` .. ``E8``).
+
+    *jobs* is forwarded to the sweep-backed experiments (E1–E5) and selects
+    how many worker processes execute the grid; results are identical for
+    every value (seeds are planned up front by the executor).
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment '{experiment_id}'; known: "
@@ -294,8 +316,8 @@ def run_experiment(experiment_id: str, scale: str = "default",
         raise KeyError(f"unknown scale '{scale}'")
     runner = EXPERIMENTS[key]
     if seed is None:
-        return runner(scale)
-    return runner(scale, seed)
+        return runner(scale, jobs=jobs)
+    return runner(scale, seed, jobs=jobs)
 
 
 def available_experiments() -> List[str]:

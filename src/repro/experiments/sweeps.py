@@ -5,18 +5,23 @@ A sweep runs :func:`repro.experiments.harness.run_mis` over a grid of
 paper-relevant metrics (awake complexity, node-averaged awake complexity,
 round complexity, MIS size, verification) per grid cell.  The scaling
 experiments E1–E4 are thin wrappers around these sweeps.
+
+Execution is delegated to :mod:`repro.experiments.executor`: the grid is
+expanded into seed-carrying task specs up front, then run either in-process
+(``jobs=1``) or across a process pool (``jobs>1``) with bit-identical
+results either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.fitting import fit_report
 from repro.analysis.stats import summarize
-from repro.experiments.harness import MISRunResult, run_mis
-from repro.graphs.generators import by_name
-from repro.rng import SeedLike, make_rng
+from repro.experiments.executor import execute_tasks, plan_sweep_tasks
+from repro.experiments.harness import MISRunResult
+from repro.rng import SeedLike
 
 
 @dataclass
@@ -108,30 +113,38 @@ def run_sweep(
     repetitions: int = 3,
     seed: SeedLike = None,
     algorithm_params: Optional[Dict[str, Dict[str, Any]]] = None,
+    jobs: Optional[int] = 1,
 ) -> SweepResult:
     """Run the full grid and return a :class:`SweepResult`.
 
     *algorithm_params* optionally maps algorithm name to extra keyword
-    arguments for :func:`run_mis` (e.g. ``{"awake_mis": {"preset": "scaled"}}``).
+    arguments for :func:`~repro.experiments.harness.run_mis` (e.g.
+    ``{"awake_mis": {"preset": "scaled"}}``).
+
+    *jobs* selects how many worker processes execute the grid: ``1``
+    (default) runs in-process, ``None``/``0`` uses one worker per CPU.
+    Because every task's seeds are derived up front by
+    :func:`~repro.experiments.executor.plan_sweep_tasks`, the returned
+    cells, rows and fits are identical for every value of *jobs*.
     """
-    rng = make_rng(seed)
-    algorithm_params = algorithm_params or {}
+    tasks = plan_sweep_tasks(
+        algorithms=algorithms,
+        sizes=sizes,
+        families=families,
+        repetitions=repetitions,
+        seed=seed,
+        algorithm_params=algorithm_params,
+    )
+    runs = execute_tasks(tasks, jobs=jobs)
+
     result = SweepResult()
-    for family in families:
-        for n in sizes:
-            graphs = [
-                by_name(family, n, seed=rng.randrange(2**63))
-                for _ in range(repetitions)
-            ]
-            for algorithm in algorithms:
-                cell = SweepCell(algorithm=algorithm, family=family, n=n)
-                for graph in graphs:
-                    run = run_mis(
-                        graph,
-                        algorithm=algorithm,
-                        seed=rng.randrange(2**63),
-                        **algorithm_params.get(algorithm, {}),
-                    )
-                    cell.runs.append(run)
-                result.cells.append(cell)
+    cells: Dict[Tuple[str, str, int], SweepCell] = {}
+    for task, run in zip(tasks, runs):
+        cell = cells.get(task.cell_key)
+        if cell is None:
+            cell = SweepCell(algorithm=task.algorithm, family=task.family,
+                             n=task.n)
+            cells[task.cell_key] = cell
+            result.cells.append(cell)
+        cell.runs.append(run)
     return result

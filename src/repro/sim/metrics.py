@@ -47,6 +47,42 @@ class NodeMetrics:
         self.messages_received += 1
 
 
+@dataclass(frozen=True)
+class CompactRunMetrics:
+    """Frozen scalar summary of a :class:`RunMetrics`.
+
+    Holds exactly the aggregate quantities the sweep layer consumes (the
+    paper's complexity measures plus message statistics) without the
+    per-node counter list, so results stay small when shipped between the
+    worker processes of the parallel sweep executor.  The attribute names
+    mirror the :class:`RunMetrics` properties, making the two forms
+    interchangeable for every aggregate consumer.
+    """
+
+    node_count: int
+    awake_complexity: int
+    node_averaged_awake: float
+    total_awake_rounds: int
+    round_complexity: int
+    active_rounds: int
+    total_messages: int
+    #: ``None`` when the run was unmetered (no bit limit, no trace): message
+    #: sizes were never estimated, which is distinct from "largest was 0".
+    max_message_bits: Optional[int]
+
+    def summary(self) -> Dict[str, Any]:
+        """Return the same plain-dict summary :meth:`RunMetrics.summary` does."""
+        return {
+            "nodes": self.node_count,
+            "awake_complexity": self.awake_complexity,
+            "node_averaged_awake": round(self.node_averaged_awake, 3),
+            "round_complexity": self.round_complexity,
+            "active_rounds": self.active_rounds,
+            "total_messages": self.total_messages,
+            "max_message_bits": self.max_message_bits,
+        }
+
+
 @dataclass
 class RunMetrics:
     """Aggregated metrics for one simulation run."""
@@ -56,6 +92,9 @@ class RunMetrics:
     last_active_round: Optional[int] = None
     #: Number of distinct rounds in which at least one node was awake.
     active_rounds: int = 0
+    #: False when the run skipped message-size estimation (the simulator's
+    #: unmetered fast path); bit statistics are then "not measured".
+    bits_metered: bool = True
 
     @property
     def node_count(self) -> int:
@@ -98,20 +137,31 @@ class RunMetrics:
         return sum(m.messages_sent for m in self.per_node)
 
     @property
-    def max_message_bits(self) -> int:
-        """Largest single message (in estimated bits) sent during the run."""
+    def max_message_bits(self) -> Optional[int]:
+        """Largest single message (in estimated bits) sent during the run.
+
+        ``None`` when the run was unmetered (sizes were never estimated),
+        so a fabricated 0 can never be mistaken for a measurement.
+        """
+        if not self.bits_metered:
+            return None
         if not self.per_node:
             return 0
         return max(m.max_message_bits for m in self.per_node)
 
     def summary(self) -> Dict[str, Any]:
         """Return a plain-dict summary convenient for tables and JSON."""
-        return {
-            "nodes": self.node_count,
-            "awake_complexity": self.awake_complexity,
-            "node_averaged_awake": round(self.node_averaged_awake, 3),
-            "round_complexity": self.round_complexity,
-            "active_rounds": self.active_rounds,
-            "total_messages": self.total_messages,
-            "max_message_bits": self.max_message_bits,
-        }
+        return self.compact().summary()
+
+    def compact(self) -> CompactRunMetrics:
+        """Collapse the per-node counters into a :class:`CompactRunMetrics`."""
+        return CompactRunMetrics(
+            node_count=self.node_count,
+            awake_complexity=self.awake_complexity,
+            node_averaged_awake=self.node_averaged_awake,
+            total_awake_rounds=self.total_awake_rounds,
+            round_complexity=self.round_complexity,
+            active_rounds=self.active_rounds,
+            total_messages=self.total_messages,
+            max_message_bits=self.max_message_bits,
+        )

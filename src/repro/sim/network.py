@@ -118,3 +118,26 @@ class Network:
         if not self._labels:
             return 0
         return max(len(p.neighbors) for p in self._ports)
+
+    # ------------------------------------------------------------------ #
+    # Flat routing tables (simulator fast path)
+    # ------------------------------------------------------------------ #
+    def neighbor_tables(self) -> List[Tuple[int, ...]]:
+        """Per-node neighbour tables: ``tables[u][p]`` is the index reached
+        from node ``u`` through port ``p``.
+
+        Equivalent to :meth:`neighbor_via_port` without the per-call bounds
+        check; the runner validates ports once per :class:`WakeCall` and then
+        routes every message through these flat tables.
+        """
+        return [ports.neighbors for ports in self._ports]
+
+    def arrival_port_tables(self) -> List[Tuple[int, ...]]:
+        """Per-node arrival tables: ``tables[u][p]`` is the port on which the
+        neighbour reached from ``u`` through port ``p`` receives ``u``'s
+        messages (i.e. ``port_towards(neighbor_via_port(u, p), u)``).
+        """
+        return [
+            tuple(self._ports[v].port_of[u] for v in ports.neighbors)
+            for u, ports in enumerate(self._ports)
+        ]

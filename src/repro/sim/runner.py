@@ -18,6 +18,29 @@ Round semantics (paper Section 1.3):
    ``r``; otherwise it is lost,
 4. awake nodes then receive their inbox (the generator is resumed with it)
    and either terminate or schedule their next awake round.
+
+Fast path
+---------
+
+The driver has two interchangeable round loops.  The *metered* loop handles
+tracing and CONGEST bit accounting; the *fast* loop runs whenever neither is
+requested (``trace=False`` and ``message_bit_limit=None``), i.e. for direct
+:func:`run_protocol` / algorithm-level calls that leave the bit budget off —
+note that :func:`repro.experiments.harness.run_mis` enforces CONGEST by
+default, so sweeps stay on the metered loop unless
+``enforce_congest=False``.  The fast loop routes messages through
+flat neighbour/arrival-port arrays precomputed from the
+:class:`~repro.sim.network.Network`, skips
+:func:`~repro.sim.message.estimate_bits` entirely (the aggregate
+``max_message_bits`` then reads ``None`` — "not measured" — and per-node
+bit counters stay 0; awake, round and message *counts* are identical
+between the two loops), and reuses one delivery buffer per node across
+rounds.
+
+Buffer-reuse contract: the inbox list a generator is resumed with is only
+valid until the node's next ``yield``; protocols must consume (or copy) it
+before yielding their next :class:`~repro.sim.actions.WakeCall`.  Every
+shipped protocol reads its inbox immediately upon resumption.
 """
 
 from __future__ import annotations
@@ -80,6 +103,8 @@ class Simulator:
         If not ``None``, sending a message whose estimated size exceeds this
         many bits raises :class:`MessageTooLargeError`.  The experiment
         harness sets it to a multiple of ``log2(N)`` to enforce CONGEST.
+        When ``None`` (and tracing is off) the driver takes the fast path
+        and does not estimate message sizes at all.
     max_active_rounds:
         Safety valve: abort (with :class:`SimulationError`) if more than this
         many *active* rounds elapse, which indicates a livelocked protocol.
@@ -131,7 +156,6 @@ class Simulator:
 
         # (round, node_index, WakeCall) heap of pending wake-ups.
         pending: List[tuple] = []
-        last_round_of: List[int] = [-1] * n
 
         for index in range(n):
             label = network.label_of(index)
@@ -154,6 +178,131 @@ class Simulator:
                 continue
             self._validate_call(first_call, index, previous_round=-1)
             heapq.heappush(pending, (first_call.round, index, first_call))
+
+        if trace is None and self._message_bit_limit is None:
+            metrics.bits_metered = False
+            self._drive_fast(pending, generators, outputs, metrics)
+        else:
+            self._drive_metered(pending, generators, outputs, metrics, trace)
+
+        # Nodes that never terminated explicitly (generator exhausted without
+        # return) have output None already; nodes still pending cannot exist
+        # here because the loop drains the heap.
+        awake_by_label = {
+            network.label_of(index): metrics.per_node[index].awake_rounds
+            for index in range(n)
+        }
+        missing = [
+            network.label_of(index)
+            for index in range(n)
+            if network.label_of(index) not in outputs
+        ]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} node(s) never terminated: {missing[:5]}"
+            )
+        return RunResult(
+            outputs=outputs,
+            metrics=metrics,
+            awake_by_label=awake_by_label,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _drive_fast(
+        self,
+        pending: List[tuple],
+        generators: List[Optional[Generator[WakeCall, List[Receive], Any]]],
+        outputs: Dict[Any, Any],
+        metrics: RunMetrics,
+    ) -> None:
+        """Round loop for the common configuration: no trace, no bit limit.
+
+        Messages are routed through flat port tables, sizes are never
+        estimated, and each node's delivery buffer is reused across rounds
+        (cleared when the node next wakes).  Produces the same outputs and
+        the same awake/round/message counts as :meth:`_drive_metered`; only
+        the bit statistics differ (per-node counters stay 0, the aggregate
+        ``max_message_bits`` reads ``None`` via ``bits_metered=False``).
+        """
+        network = self._network
+        neighbor_of = network.neighbor_tables()
+        arrival_port_of = network.arrival_port_tables()
+        per_node = metrics.per_node
+        max_awake = self._max_awake_per_node
+        inboxes: List[List[Receive]] = [[] for _ in range(network.size)]
+
+        active_rounds = 0
+        awake: Dict[int, WakeCall] = {}
+        while pending:
+            current_round = pending[0][0]
+            active_rounds += 1
+            if active_rounds > self._max_active_rounds:
+                raise SimulationError(
+                    f"exceeded {self._max_active_rounds} active rounds; "
+                    "protocol appears to be livelocked"
+                )
+
+            # Pop every node awake in this round; recycle its inbox buffer.
+            awake.clear()
+            while pending and pending[0][0] == current_round:
+                _, index, call = heapq.heappop(pending)
+                awake[index] = call
+                inboxes[index].clear()
+
+            for index, call in awake.items():
+                node_metrics = per_node[index]
+                node_metrics.awake_rounds += 1
+                if node_metrics.awake_rounds > max_awake:
+                    raise SimulationError(
+                        f"node {network.label_of(index)} exceeded "
+                        f"{max_awake} awake rounds"
+                    )
+                sends = call.sends
+                if not sends:
+                    continue
+                neighbors = neighbor_of[index]
+                arrivals = arrival_port_of[index]
+                for port, payload in sends:
+                    node_metrics.messages_sent += 1
+                    receiver = neighbors[port]
+                    if receiver in awake:
+                        inboxes[receiver].append((arrivals[port], payload))
+                        per_node[receiver].messages_received += 1
+
+            metrics.last_active_round = current_round
+
+            # Resume every awake node with its inbox.  Heap pops already
+            # produced increasing indices, so the dict iterates in the same
+            # node order the metered loop uses.
+            for index in awake:
+                gen = generators[index]
+                assert gen is not None
+                try:
+                    next_call = gen.send(inboxes[index])
+                except StopIteration as stop:
+                    outputs[network.label_of(index)] = stop.value
+                    per_node[index].terminated_round = current_round
+                    generators[index] = None
+                    continue
+                self._validate_call(next_call, index, previous_round=current_round)
+                heapq.heappush(pending, (next_call.round, index, next_call))
+        metrics.active_rounds = active_rounds
+
+    # ------------------------------------------------------------------ #
+    def _drive_metered(
+        self,
+        pending: List[tuple],
+        generators: List[Optional[Generator[WakeCall, List[Receive], Any]]],
+        outputs: Dict[Any, Any],
+        metrics: RunMetrics,
+        trace: Optional[Trace],
+    ) -> None:
+        """Round loop with CONGEST bit accounting and optional tracing."""
+        network = self._network
+        neighbor_of = network.neighbor_tables()
+        arrival_port_of = network.arrival_port_tables()
+        bit_limit = self._message_bit_limit
 
         active_rounds = 0
         while pending:
@@ -182,21 +331,18 @@ class Simulator:
                         f"{self._max_awake_per_node} awake rounds"
                     )
                 for port, payload in call.sends:
-                    receiver = network.neighbor_via_port(index, port)
+                    receiver = neighbor_of[index][port]
                     bits = estimate_bits(payload)
-                    if (
-                        self._message_bit_limit is not None
-                        and bits > self._message_bit_limit
-                    ):
+                    if bit_limit is not None and bits > bit_limit:
                         raise MessageTooLargeError(
                             f"node {network.label_of(index)} sent a {bits}-bit "
-                            f"message (limit {self._message_bit_limit}) in round "
+                            f"message (limit {bit_limit}) in round "
                             f"{current_round}: {payload!r}"
                         )
                     node_metrics.record_send(bits)
                     delivered = receiver in awake
                     if delivered:
-                        arrival_port = network.port_towards(receiver, index)
+                        arrival_port = arrival_port_of[index][port]
                         deliveries[receiver].append((arrival_port, payload))
                         metrics.per_node[receiver].record_receive()
                     if trace is not None:
@@ -233,31 +379,7 @@ class Simulator:
                     generators[index] = None
                     continue
                 self._validate_call(next_call, index, previous_round=current_round)
-                last_round_of[index] = current_round
                 heapq.heappush(pending, (next_call.round, index, next_call))
-
-        # Nodes that never terminated explicitly (generator exhausted without
-        # return) have output None already; nodes still pending cannot exist
-        # here because the loop drains the heap.
-        awake_by_label = {
-            network.label_of(index): metrics.per_node[index].awake_rounds
-            for index in range(n)
-        }
-        missing = [
-            network.label_of(index)
-            for index in range(n)
-            if network.label_of(index) not in outputs
-        ]
-        if missing:
-            raise SimulationError(
-                f"{len(missing)} node(s) never terminated: {missing[:5]}"
-            )
-        return RunResult(
-            outputs=outputs,
-            metrics=metrics,
-            awake_by_label=awake_by_label,
-            trace=trace,
-        )
 
     # ------------------------------------------------------------------ #
     def _validate_call(

@@ -146,10 +146,12 @@ class TestComplexity:
             assert decision.detail["communication_rounds"] <= bound
 
     def test_congest_message_sizes(self):
+        # Metering (and hence max_message_bits) is only active when a bit
+        # limit is set; the unmetered fast path skips size estimation.
+        budget = 64 * math.ceil(math.log2(90 + 2))
         graph = generators.gnp_graph(90, expected_degree=6, seed=18)
-        result = run_awake_mis(graph, seed=19)
-        assert result.metrics.max_message_bits <= \
-            64 * math.ceil(math.log2(90 + 2))
+        result = run_awake_mis(graph, seed=19, message_bit_limit=budget)
+        assert 0 < result.metrics.max_message_bits <= budget
 
     def test_awake_growth_is_sublogarithmic_in_n(self):
         # Doubling n several times should leave the awake complexity nearly

@@ -35,8 +35,21 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "sweep results" in out
 
+    def test_sweep_parallel_matches_serial(self, capsys):
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
     def test_experiment_e8(self, capsys):
         assert main(["experiment", "E8"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_experiment_accepts_jobs(self, capsys):
+        assert main(["experiment", "E8", "--jobs", "2"]) == 0
         assert "PASS" in capsys.readouterr().out
 
     def test_no_command_prints_help(self, capsys):
@@ -46,3 +59,9 @@ class TestCLI:
     def test_invalid_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "bogus"])
+
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                  "--jobs", "-2"])
+        assert "--jobs must be >= 0" in capsys.readouterr().err

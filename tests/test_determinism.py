@@ -1,0 +1,104 @@
+"""Property-based cross-validation of every registered MIS algorithm.
+
+Two properties over a corpus of random graphs (every generator family ×
+several seeds):
+
+1. **Correctness** — the output of every registered algorithm passes
+   :func:`repro.core.mis.is_maximal_independent_set` on its input graph;
+2. **Determinism** — rerunning with the same seeds regenerates the identical
+   graph, the identical MIS, and identical metrics.  This is the invariant
+   the parallel sweep executor relies on (workers rebuild graphs from seeds
+   instead of receiving them, so same-seed reruns must be bit-stable).
+
+The quick subset runs in every test invocation; the exhaustive corpus is
+marked ``slow`` (deselect with ``-m "not slow"``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mis import is_maximal_independent_set
+from repro.experiments.harness import available_algorithms, run_mis
+from repro.graphs.generators import FAMILIES, by_name
+
+ALGORITHMS = tuple(available_algorithms())
+ALL_FAMILIES = tuple(sorted(FAMILIES))
+#: Structurally diverse subset exercised on every test run.
+QUICK_FAMILIES = ("gnp", "path", "tree", "star")
+
+
+def check_verified_and_deterministic(algorithm, family, n, graph_seed,
+                                     run_seed):
+    """Assert the correctness + determinism properties for one corpus cell."""
+    graph = by_name(family, n, seed=graph_seed)
+    first = run_mis(graph, algorithm=algorithm, seed=run_seed)
+    assert first.independent, (
+        f"{algorithm} on {family}(n={n}, seed={graph_seed}) produced a "
+        f"dependent set under run seed {run_seed}"
+    )
+    assert first.maximal, (
+        f"{algorithm} on {family}(n={n}, seed={graph_seed}) produced a "
+        f"non-maximal set under run seed {run_seed}"
+    )
+    assert is_maximal_independent_set(graph, first.mis)
+
+    regenerated = by_name(family, n, seed=graph_seed)
+    assert sorted(regenerated.edges) == sorted(graph.edges), (
+        f"graph family '{family}' is not deterministic under seed {graph_seed}"
+    )
+    again = run_mis(regenerated, algorithm=algorithm, seed=run_seed)
+    assert again.mis == first.mis, (
+        f"{algorithm} is not deterministic: same seeds produced a "
+        f"different MIS on {family}(n={n})"
+    )
+    first_summary = first.summary()
+    again_summary = again.summary()
+    first_summary.pop("wall_time_s")
+    again_summary.pop("wall_time_s")
+    assert first_summary == again_summary
+
+
+@pytest.mark.parametrize("family", QUICK_FAMILIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_quick_corpus(algorithm, family):
+    check_verified_and_deterministic(algorithm, family, n=24, graph_seed=11,
+                                     run_seed=13)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("corpus_seed", (1, 2, 3))
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_full_corpus(algorithm, family, corpus_seed):
+    check_verified_and_deterministic(
+        algorithm, family, n=32,
+        graph_seed=corpus_seed, run_seed=1000 + corpus_seed,
+    )
+
+
+class TestPropertyBased:
+    """Hypothesis sweeps over graph and run seeds for the fast baselines."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=48),
+        graph_seed=st.integers(min_value=0, max_value=2**31),
+        run_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_luby_verified_and_deterministic(self, n, graph_seed, run_seed):
+        check_verified_and_deterministic("luby", "gnp", n, graph_seed,
+                                         run_seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        graph_seed=st.integers(min_value=0, max_value=2**31),
+        run_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_rank_greedy_verified_and_deterministic(self, n, graph_seed,
+                                                    run_seed):
+        check_verified_and_deterministic("rank_greedy", "tree", n, graph_seed,
+                                         run_seed)

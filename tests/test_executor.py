@@ -1,0 +1,167 @@
+"""Tests for the parallel sweep executor and its serial/parallel equivalence.
+
+The load-bearing guarantee: because :func:`plan_sweep_tasks` derives every
+seed up front from the master RNG (in the exact order the historical serial
+loop consumed it), ``run_sweep(jobs=K)`` is cell-for-cell identical for
+every ``K`` — the rows, the fits, even their ``repr`` strings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    SweepTask,
+    execute_tasks,
+    plan_sweep_tasks,
+    resolve_jobs,
+    run_task,
+)
+from repro.experiments.harness import run_mis
+from repro.experiments.sweeps import run_sweep
+from repro.graphs.generators import by_name
+from repro.sim.metrics import CompactRunMetrics, RunMetrics
+
+GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32],
+            families=("gnp",), repetitions=2, seed=99)
+
+
+class TestPlanning:
+    def test_task_count_is_the_grid_product(self):
+        tasks = plan_sweep_tasks(**GRID)
+        assert len(tasks) == 2 * 2 * 1 * 2  # algorithms * sizes * families * reps
+
+    def test_planning_is_deterministic(self):
+        assert plan_sweep_tasks(**GRID) == plan_sweep_tasks(**GRID)
+
+    def test_different_master_seeds_give_different_tasks(self):
+        other = dict(GRID, seed=100)
+        assert plan_sweep_tasks(**GRID) != plan_sweep_tasks(**other)
+
+    def test_repetitions_share_graph_seeds_across_algorithms(self):
+        """Both algorithms must see the same repetition graphs (as the
+        serial sweep always did), with distinct run seeds per task."""
+        tasks = plan_sweep_tasks(**GRID)
+        by_cell = {}
+        for task in tasks:
+            by_cell.setdefault(task.cell_key, []).append(task)
+        luby_graphs = [t.graph_seed for t in by_cell[("luby", "gnp", 16)]]
+        vt_graphs = [t.graph_seed for t in by_cell[("vt_mis", "gnp", 16)]]
+        assert luby_graphs == vt_graphs
+        run_seeds = [t.run_seed for t in tasks]
+        assert len(set(run_seeds)) == len(run_seeds)
+
+    def test_algorithm_params_are_attached_sorted(self):
+        tasks = plan_sweep_tasks(
+            algorithms=["awake_mis"], sizes=[16], repetitions=1, seed=1,
+            algorithm_params={"awake_mis": {"variant": "round",
+                                            "preset": "scaled"}},
+        )
+        assert tasks[0].params == (("preset", "scaled"), ("variant", "round"))
+
+
+class TestRunTask:
+    def test_worker_regenerates_the_graph_from_seeds(self):
+        task = SweepTask(algorithm="luby", family="gnp", n=20,
+                         graph_seed=7, run_seed=8)
+        result = run_task(task)
+        reference = run_mis(by_name("gnp", 20, seed=7), algorithm="luby",
+                            seed=8, collect_raw=False)
+        assert result.mis == reference.mis
+        assert result.summary() == {**reference.summary(),
+                                    "wall_time_s": result.summary()["wall_time_s"]}
+
+    def test_worker_results_are_compact(self):
+        task = SweepTask(algorithm="luby", family="gnp", n=20,
+                         graph_seed=7, run_seed=8)
+        result = run_task(task)
+        assert isinstance(result.metrics, CompactRunMetrics)
+        assert result.raw is None
+
+    def test_compact_results_pickle_small(self):
+        import pickle
+
+        task = SweepTask(algorithm="luby", family="gnp", n=256,
+                         graph_seed=7, run_seed=8)
+        compact = len(pickle.dumps(run_task(task)))
+        full = len(pickle.dumps(run_mis(by_name("gnp", 256, seed=7),
+                                        algorithm="luby", seed=8)))
+        assert compact < full / 4
+
+
+class TestResolveJobs:
+    def test_explicit_values_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+
+    def test_zero_and_none_mean_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+
+class TestSerialParallelEquivalence:
+    def test_execute_tasks_preserves_task_order(self):
+        tasks = plan_sweep_tasks(**GRID)
+        serial = execute_tasks(tasks, jobs=1)
+        parallel = execute_tasks(tasks, jobs=4)
+        assert [r.mis for r in serial] == [r.mis for r in parallel]
+        assert [r.seed for r in serial] == [r.seed for r in parallel]
+
+    def test_sweep_rows_byte_identical_across_jobs(self):
+        serial = run_sweep(**GRID, jobs=1)
+        parallel = run_sweep(**GRID, jobs=4)
+        assert repr(serial.rows()) == repr(parallel.rows())
+        assert serial.fits("awake_max") == parallel.fits("awake_max")
+        assert serial.all_verified and parallel.all_verified
+
+    def test_sweep_with_algorithm_params_matches_across_jobs(self):
+        grid = dict(algorithms=["luby"], sizes=[16], repetitions=2, seed=5,
+                    algorithm_params={"luby": {"max_iterations": 512}})
+        serial = run_sweep(**grid, jobs=1)
+        parallel = run_sweep(**grid, jobs=2)
+        assert repr(serial.rows()) == repr(parallel.rows())
+
+    def test_serial_jobs_run_in_process(self):
+        """jobs=1 must not spawn a pool (keeps debugging/profiling simple):
+        an unpicklable monkeypatched adapter still works in-process."""
+        import repro.experiments.harness as harness
+
+        calls = []
+        original = harness.ALGORITHMS["luby"]
+
+        def spy(graph, seed, **params):
+            calls.append(seed)
+            return original(graph, seed, **params)
+
+        harness.ALGORITHMS["luby"] = spy
+        try:
+            run_sweep(algorithms=["luby"], sizes=[16], repetitions=2,
+                      seed=3, jobs=1)
+        finally:
+            harness.ALGORITHMS["luby"] = original
+        assert len(calls) == 2
+
+
+class TestSweepStructure:
+    def test_cells_keep_the_serial_ordering(self):
+        sweep = run_sweep(**GRID, jobs=4)
+        keys = [(c.algorithm, c.family, c.n) for c in sweep.cells]
+        # family -> n -> algorithm, exactly the order the serial loop built.
+        assert keys == [("luby", "gnp", 16), ("vt_mis", "gnp", 16),
+                        ("luby", "gnp", 32), ("vt_mis", "gnp", 32)]
+        assert all(len(c.runs) == 2 for c in sweep.cells)
+
+    def test_run_mis_keep_raw_conflicts_with_compaction(self):
+        with pytest.raises(ConfigurationError):
+            run_mis(by_name("gnp", 16, seed=1), algorithm="luby", seed=2,
+                    keep_raw=True, collect_raw=False)
+
+    def test_run_mis_default_metrics_stay_full(self):
+        result = run_mis(by_name("gnp", 16, seed=1), algorithm="luby", seed=2)
+        assert isinstance(result.metrics, RunMetrics)
+        assert len(result.metrics.per_node) == 16

@@ -96,9 +96,12 @@ class TestComplexity:
             1 + ldt_mis_round_budget(n_bound, id_space)
 
     def test_congest_messages(self, small_gnp):
-        result = run_ldt_mis(small_gnp, seed=8)
+        # Metering (and hence max_message_bits) is only active when a bit
+        # limit is set; the unmetered fast path skips size estimation.
         n = small_gnp.number_of_nodes()
-        assert result.metrics.max_message_bits <= 64 * math.ceil(math.log2(n + 2))
+        budget = 64 * math.ceil(math.log2(n + 2))
+        result = run_ldt_mis(small_gnp, seed=8, message_bit_limit=budget)
+        assert 0 < result.metrics.max_message_bits <= budget
 
     def test_uses_component_bound_when_disconnected(self, disconnected_graph):
         # n_bound defaults to the largest component, which is much smaller

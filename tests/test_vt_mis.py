@@ -18,7 +18,7 @@ from repro.graphs import generators
 from repro.sim import run_protocol
 
 
-def run_vt_mis(graph, order, trace=False):
+def run_vt_mis(graph, order, trace=False, message_bit_limit=None):
     """Run VT-MIS with IDs assigned along *order*; return (mis, result)."""
     local_inputs = assign_sequential_ids(graph.nodes, seed_order=order)
     result = run_protocol(
@@ -28,6 +28,7 @@ def run_vt_mis(graph, order, trace=False):
         local_inputs=local_inputs,
         seed=1,
         trace=trace,
+        message_bit_limit=message_bit_limit,
     )
     return mis_from_result(result), result
 
@@ -103,10 +104,13 @@ class TestComplexity:
             assert result.trace.awake_rounds_of(label) == expected
 
     def test_messages_are_congest_sized(self):
+        # An explicit bit limit keeps the simulator on the metered path, so
+        # max_message_bits reflects real sizes (the unmetered fast path
+        # reports 0) and any over-budget message raises instead.
         graph = generators.gnp_graph(64, expected_degree=8, seed=5)
         order = list(graph.nodes)
-        _, result = run_vt_mis(graph, order)
-        assert result.metrics.max_message_bits <= 80
+        _, result = run_vt_mis(graph, order, message_bit_limit=80)
+        assert 0 < result.metrics.max_message_bits <= 80
 
 
 class TestInputs:
