@@ -13,6 +13,10 @@ recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 
@@ -29,3 +33,29 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def repro_scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def bench_record():
+    """Record one benchmark's numbers into the perf-trajectory JSON file.
+
+    When the environment variable ``REPRO_BENCH_JSON`` names a file, calling
+    the fixture as ``bench_record(name, **numbers)`` merges ``{name:
+    numbers}`` into that file (read-modify-write, so several benchmarks can
+    contribute to one artifact).  CI uploads the result as ``BENCH_pr.json``
+    and the committed ``BENCH_seed.json`` holds the baseline; without the
+    variable the fixture is a no-op, so local runs stay side-effect free.
+    """
+    def record(name: str, **numbers):
+        target = os.environ.get("REPRO_BENCH_JSON")
+        if not target:
+            return
+        path = Path(target)
+        payload = {}
+        if path.exists() and path.stat().st_size > 0:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        payload[name] = numbers
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    return record

@@ -8,6 +8,10 @@ executor's core guarantee: the rows are byte-identical either way.
 The speedup itself is hardware-dependent (a single-core CI runner sees
 none, a laptop sees ~#cores once per-task cost dominates pool startup), so
 it is printed rather than asserted.
+
+The per-run numbers (wall clock and tasks/second for both executors) are
+also written to the machine-readable perf-trajectory file when
+``REPRO_BENCH_JSON`` is set — see the ``bench_record`` fixture.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.experiments.executor import plan_sweep_tasks
 from repro.experiments.sweeps import run_sweep
 from repro.experiments.tables import format_table
 
@@ -29,9 +34,11 @@ GRID_BY_SCALE = {
 }
 
 
-def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale):
+def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale,
+                                                      bench_record):
     grid = GRID_BY_SCALE[repro_scale]
     jobs = min(4, os.cpu_count() or 1)
+    task_count = len(plan_sweep_tasks(**grid))
 
     started = time.perf_counter()
     serial = run_sweep(**grid, jobs=1)
@@ -46,14 +53,32 @@ def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale):
     assert parallel.fits("awake_max") == serial.fits("awake_max")
     assert parallel.all_verified
 
+    serial_rate = task_count / max(serial_seconds, 1e-9)
+    parallel_rate = task_count / max(parallel_seconds, 1e-9)
     rows = [
-        {"executor": "serial (jobs=1)", "seconds": round(serial_seconds, 3)},
+        {"executor": "serial (jobs=1)", "seconds": round(serial_seconds, 3),
+         "tasks_per_s": round(serial_rate, 2)},
         {"executor": f"parallel (jobs={jobs})",
-         "seconds": round(parallel_seconds, 3)},
+         "seconds": round(parallel_seconds, 3),
+         "tasks_per_s": round(parallel_rate, 2)},
         {"executor": "speedup",
-         "seconds": round(serial_seconds / max(parallel_seconds, 1e-9), 2)},
+         "seconds": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+         "tasks_per_s": ""},
     ]
     print()
     print(format_table(rows, title=f"parallel sweep executor "
                                    f"({os.cpu_count()} CPUs visible)"))
     print(format_table(parallel.rows(), title="sweep rows (identical to serial)"))
+
+    bench_record(
+        "parallel_sweep",
+        scale=repro_scale,
+        tasks=task_count,
+        jobs=jobs,
+        cpu_count=os.cpu_count(),
+        serial_seconds=round(serial_seconds, 4),
+        parallel_seconds=round(parallel_seconds, 4),
+        serial_tasks_per_second=round(serial_rate, 3),
+        parallel_tasks_per_second=round(parallel_rate, 3),
+        speedup=round(serial_seconds / max(parallel_seconds, 1e-9), 3),
+    )

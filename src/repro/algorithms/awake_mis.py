@@ -29,8 +29,8 @@ analysis constants verbatim.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import networkx as nx
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import networkx as nx
-
 from repro.core.shattering import (
     ShatteringMeasurement,
     empirical_failure_rate,

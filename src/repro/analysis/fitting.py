@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence
 
 #: Candidate growth laws, in increasing order of growth.
 GROWTH_LAWS: Dict[str, Callable[[float], float]] = {

@@ -10,11 +10,17 @@ Sub-commands
     plus growth-law fits.  ``--jobs K`` fans the grid out over ``K`` worker
     processes (``--jobs 0`` uses every CPU); because the sweep executor
     derives every task seed up front, the printed rows and fits are
-    identical for every ``--jobs`` value.
+    identical for every ``--jobs`` value.  ``--output FILE`` persists every
+    result to a JSONL store as it completes; ``--resume`` continues an
+    interrupted sweep from that store without re-running recorded tasks.
 ``experiment``
-    Regenerate one of the paper experiments E1–E8 (see DESIGN.md §3).
-    ``--jobs`` parallelises the sweep-backed experiments E1–E5 the same
-    way; E6–E8 ignore it.
+    Regenerate one of the paper experiments E1–E9 (see DESIGN.md §3).
+    ``--jobs`` parallelises the sweep-backed experiments E1–E5 and E9 the
+    same way; ``--output``/``--resume`` give them the resumable store;
+    E6–E8 ignore all three.
+``report``
+    Rebuild the sweep table and growth-law fits from a JSONL store written
+    by ``sweep``/``experiment --output``, without re-running anything.
 ``figure``
     Print the paper's Figure 1/2 worked example.
 ``list``
@@ -27,11 +33,24 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments.harness import available_algorithms, run_mis
 from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.store import ResultStore, load_sweep_result
 from repro.experiments.sweeps import run_sweep
-from repro.experiments.tables import format_table
+from repro.experiments.tables import format_table, render_sweep
 from repro.graphs.generators import FAMILIES, by_name
+
+#: Shared --help epilog for the store-aware subcommands.
+_STORE_EPILOG = (
+    "Results store: --output FILE appends one JSON record per completed "
+    "task (atomic line writes keyed by the task's spec hash), so a killed "
+    "run loses at most the line being written.  Re-running with --resume "
+    "replays recorded tasks from the store instead of executing them; the "
+    "final table and fits are byte-identical to an uninterrupted run.  "
+    "--resume requires --output, and a store holds exactly one sweep "
+    "configuration.  Inspect a store later with 'repro-mis report FILE'."
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,7 +68,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--n", type=int, default=128)
     run_parser.add_argument("--seed", type=int, default=1)
 
-    sweep_parser = sub.add_parser("sweep", help="scaling sweep")
+    sweep_parser = sub.add_parser("sweep", help="scaling sweep",
+                                  epilog=_STORE_EPILOG)
     sweep_parser.add_argument("--algorithms", nargs="+",
                               default=["awake_mis", "luby"],
                               choices=available_algorithms())
@@ -62,9 +82,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--jobs", type=int, default=1,
                               help="worker processes for the grid "
                                    "(1 = in-process, 0 = one per CPU)")
+    sweep_parser.add_argument("--output", metavar="FILE", default=None,
+                              help="JSONL results store: persist every task "
+                                   "result as it completes")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="skip tasks already recorded in --output "
+                                   "and replay their stored metrics")
 
     experiment_parser = sub.add_parser("experiment",
-                                       help="regenerate a paper experiment")
+                                       help="regenerate a paper experiment",
+                                       epilog=_STORE_EPILOG)
     experiment_parser.add_argument("experiment_id",
                                    choices=available_experiments())
     experiment_parser.add_argument("--scale", default="default",
@@ -72,12 +99,41 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--seed", type=int, default=None)
     experiment_parser.add_argument("--jobs", type=int, default=1,
                                    help="worker processes for the sweep-backed "
-                                        "experiments E1-E5 (1 = in-process, "
-                                        "0 = one per CPU)")
+                                        "experiments E1-E5 and E9 (1 = "
+                                        "in-process, 0 = one per CPU)")
+    experiment_parser.add_argument("--output", metavar="FILE", default=None,
+                                   help="JSONL results store for the "
+                                        "sweep-backed experiments")
+    experiment_parser.add_argument("--resume", action="store_true",
+                                   help="skip tasks already recorded in "
+                                        "--output")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="rebuild tables/fits from a results store without re-running",
+        epilog="The store must have been written by 'repro-mis sweep "
+               "--output' or 'repro-mis experiment --output'; a complete "
+               "store reproduces the original run's table byte-for-byte.",
+    )
+    report_parser.add_argument("store", metavar="FILE",
+                               help="JSONL results store to read")
+    report_parser.add_argument("--metric", default="awake_max",
+                               help="metric for the growth-law fits "
+                                    "(default: awake_max)")
 
     sub.add_parser("figure", help="print the Figure 1/2 worked example")
     sub.add_parser("list", help="list algorithms, families and experiments")
     return parser
+
+
+def _open_store(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> Optional[ResultStore]:
+    """Build the ResultStore for --output/--resume (None when unused)."""
+    if getattr(args, "resume", False) and not getattr(args, "output", None):
+        parser.error("--resume requires --output (the store to resume from)")
+    if getattr(args, "output", None):
+        return ResultStore(args.output)
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -95,26 +151,79 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.verified else 1
 
     if args.command == "sweep":
-        sweep = run_sweep(
-            algorithms=args.algorithms,
-            sizes=args.sizes,
-            families=args.families,
-            repetitions=args.repetitions,
-            seed=args.seed,
-            jobs=args.jobs,
-        )
-        print(format_table(sweep.rows(), title="sweep results"))
-        fits = sweep.fits("awake_max")
-        if fits:
-            print()
-            print(format_table(fits, title="growth-law fits (awake complexity)"))
+        store = _open_store(parser, args)
+        try:
+            sweep = run_sweep(
+                algorithms=args.algorithms,
+                sizes=args.sizes,
+                families=args.families,
+                repetitions=args.repetitions,
+                seed=args.seed,
+                jobs=args.jobs,
+                keep_runs=False,
+                store=store,
+                resume=args.resume,
+            )
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        finally:
+            if store is not None:
+                store.close()
+        print(render_sweep(sweep, title="sweep results"))
         return 0 if sweep.all_verified else 1
 
     if args.command == "experiment":
-        report = run_experiment(args.experiment_id, scale=args.scale,
-                                seed=args.seed, jobs=args.jobs)
+        store = _open_store(parser, args)
+        try:
+            report = run_experiment(args.experiment_id, scale=args.scale,
+                                    seed=args.seed, jobs=args.jobs,
+                                    store=store, resume=args.resume)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        finally:
+            if store is not None:
+                store.close()
         print(report.render())
         return 0 if report.passed else 1
+
+    if args.command == "report":
+        try:
+            header, sweep = load_sweep_result(args.store)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if sweep.cells:
+            known_metrics = sorted(
+                key for key, value in sweep.cells[0].row().items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+                and key not in ("n", "runs")  # grid keys, not measurements
+            )
+            if args.metric not in known_metrics:
+                print(f"error: unknown metric '{args.metric}'; known: "
+                      f"{', '.join(known_metrics)}", file=sys.stderr)
+                return 2
+        config = header.get("sweep", {})
+        # An interrupted sweep leaves a store with fewer records than its
+        # header's grid implies; never present that as a finished sweep.
+        recorded = sum(cell.run_count for cell in sweep.cells)
+        expected = (len(config.get("algorithms", []))
+                    * len(config.get("sizes", []))
+                    * len(config.get("families", []))
+                    * config.get("repetitions", 0))
+        incomplete = expected > 0 and recorded < expected
+        if incomplete:
+            print(f"note: store is incomplete ({recorded} of {expected} "
+                  "grid tasks recorded); resume the sweep with --resume to "
+                  "finish it", file=sys.stderr)
+        title = (f"stored sweep results ({args.store}; "
+                 f"algorithms={config.get('algorithms')}, "
+                 f"sizes={config.get('sizes')}"
+                 + (f"; INCOMPLETE {recorded}/{expected} tasks" if incomplete
+                    else "") + ")")
+        print(render_sweep(sweep, title=title, fit_metric=args.metric))
+        return 0 if sweep.all_verified and not incomplete else 1
 
     if args.command == "figure":
         from repro.core.virtual_tree import figure_example

@@ -1,9 +1,10 @@
-"""Experiment harness: single runs, parallel sweeps, tables, and the E1–E8
-registry."""
+"""Experiment harness: single runs, streaming parallel sweeps, the JSONL
+results store, tables, and the E1–E9 registry."""
 
 from repro.experiments.executor import (
     SweepTask,
     execute_tasks,
+    iter_task_results,
     plan_sweep_tasks,
     resolve_jobs,
     run_task,
@@ -15,16 +16,27 @@ from repro.experiments.harness import (
     default_message_bit_limit,
     run_mis,
 )
+from repro.experiments.store import (
+    CODE_SCHEMA_VERSION,
+    ResultStore,
+    load_sweep_result,
+    task_key,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "CODE_SCHEMA_VERSION",
     "MISRunResult",
+    "ResultStore",
     "SweepTask",
     "available_algorithms",
     "default_message_bit_limit",
     "execute_tasks",
+    "iter_task_results",
+    "load_sweep_result",
     "plan_sweep_tasks",
     "resolve_jobs",
     "run_mis",
     "run_task",
+    "task_key",
 ]

@@ -26,15 +26,23 @@ Design invariants
 
 ``jobs=1`` (the default) executes in-process with no pool, which keeps
 single-run debugging, tracebacks and profiling simple.
+
+Two consumption modes are offered: :func:`execute_tasks` returns the full
+result list in task order (batch), while :func:`iter_task_results` /
+:func:`iter_indexed_results` stream ``(task, result)`` pairs as workers
+finish, so grids too large to hold every result in memory can aggregate
+and persist incrementally (see :mod:`repro.experiments.sweeps` and
+:mod:`repro.experiments.store`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.errors import ConfigurationError
 from repro.experiments.harness import MISRunResult, run_mis
@@ -115,8 +123,19 @@ def _build_graph(family: str, n: int, graph_seed: int):
     graph_seed)``; caching avoids regenerating the graph once per
     algorithm.  Generators are deterministic, so cached and regenerated
     graphs are identical — algorithms treat them as read-only.
+
+    Lifecycle: the coordinator clears its copy after every sweep, and each
+    pool worker starts from an empty cache (``initializer=
+    _reset_worker_graph_cache``).  Without the initializer, fork-started
+    workers inherit whatever graphs a previous in-process sweep left pinned
+    in the coordinator, keeping up to 32 stale graphs alive per worker.
     """
     return by_name(family, n, seed=graph_seed)
+
+
+def _reset_worker_graph_cache() -> None:
+    """Pool-worker initializer: drop any fork-inherited graph cache entries."""
+    _build_graph.cache_clear()
 
 
 def run_task(task: SweepTask) -> MISRunResult:
@@ -141,11 +160,100 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     ``None`` and ``0`` mean "one worker per CPU"; positive integers are
     taken literally; anything else is rejected.
     """
+    if jobs is not None and (not isinstance(jobs, int)
+                             or isinstance(jobs, bool) or jobs < 0):
+        raise ConfigurationError(
+            f"invalid jobs value {jobs!r}: accepted forms are a positive int "
+            "(that many worker processes, 1 = in-process), 0 or None "
+            "(one worker per CPU)"
+        )
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
-    if jobs < 0:
-        raise ConfigurationError(f"jobs must be >= 0 or None, got {jobs}")
     return jobs
+
+
+#: Progress callback signature: ``(task, result, done, total)`` where *done*
+#: counts completed executions (1-based) and *total* is the task count.
+ProgressCallback = Callable[[SweepTask, MISRunResult, int, int], None]
+
+
+def iter_task_results(
+    tasks: Iterable[SweepTask],
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> Iterator[Tuple[SweepTask, MISRunResult]]:
+    """Stream ``(task, result)`` pairs as executions finish.
+
+    This is the streaming counterpart of :func:`execute_tasks`: nothing is
+    buffered, so a consumer can persist or aggregate each result and let it
+    go — the footprint of a sweep no longer grows with the grid size.  With
+    ``jobs=1`` tasks run in-process in task order; with a pool the pairs
+    arrive in **completion order** (the yielded ``task`` says which one
+    finished).  Because every seed was fixed up front by
+    :func:`plan_sweep_tasks`, arrival order cannot affect any result —
+    consumers that need deterministic aggregation simply fold the pairs
+    back into task order (as :func:`repro.experiments.sweeps.run_sweep`
+    does).
+
+    *progress*, when given, is called in the coordinator process as
+    ``progress(task, result, done, total)`` after each completed execution
+    — it sees only tasks that actually ran, which is what lets resume tests
+    assert that skipped tasks were never re-executed.
+    """
+    for _, task, result in iter_indexed_results(tasks, jobs=jobs,
+                                                progress=progress):
+        yield task, result
+
+
+def iter_indexed_results(
+    tasks: Iterable[SweepTask],
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> Iterator[Tuple[int, SweepTask, MISRunResult]]:
+    """Like :func:`iter_task_results` but each pair carries the task's
+    position in *tasks*, for consumers that fold completion-order arrivals
+    back into deterministic task order."""
+    task_list = list(tasks)
+    workers = resolve_jobs(jobs)
+    total = len(task_list)
+    done = 0
+    if workers == 1 or total <= 1:
+        try:
+            for index, task in enumerate(task_list):
+                result = run_task(task)
+                done += 1
+                if progress is not None:
+                    progress(task, result, done, total)
+                yield index, task, result
+        finally:
+            # Don't pin graphs in the coordinator process beyond the sweep.
+            _build_graph.cache_clear()
+        return
+    workers = min(workers, total)
+    # Per-task submission (no chunking): specs are a few ints/strings and
+    # results are compact, so pickling is trivial — while tasks are emitted
+    # in ascending-n order, meaning chunking would hand the expensive
+    # large-n tail to a single straggler worker.
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_reset_worker_graph_cache,
+    ) as pool:
+        future_to_index = {pool.submit(run_task, task): index
+                           for index, task in enumerate(task_list)}
+        try:
+            for future in as_completed(future_to_index):
+                index = future_to_index[future]
+                result = future.result()
+                done += 1
+                if progress is not None:
+                    progress(task_list[index], result, done, total)
+                yield index, task_list[index], result
+        finally:
+            # If the consumer abandons the stream early, don't let queued
+            # tasks keep the pool busy through the context-manager join.
+            if done < total:
+                for future in future_to_index:
+                    future.cancel()
+            _build_graph.cache_clear()
 
 
 def execute_tasks(
@@ -154,25 +262,13 @@ def execute_tasks(
 ) -> List[MISRunResult]:
     """Run every task and return results in task order.
 
-    With ``jobs=1`` (or a single task) the tasks run in-process.  Otherwise
-    they are fanned out over a :class:`~concurrent.futures
-    .ProcessPoolExecutor`; ``pool.map`` preserves input order, so the result
-    list is positionally aligned with *tasks* regardless of which worker
-    finished first.
+    Batch wrapper over :func:`iter_indexed_results`: results are reassembled
+    positionally, so the returned list aligns with *tasks* regardless of
+    which worker finished first.  Prefer the iterators for large grids —
+    this holds every result until the last task completes.
     """
     task_list = list(tasks)
-    workers = resolve_jobs(jobs)
-    if workers == 1 or len(task_list) <= 1:
-        try:
-            return [run_task(task) for task in task_list]
-        finally:
-            # Don't pin graphs in the coordinator process beyond the sweep
-            # (pool workers release theirs when the pool shuts down).
-            _build_graph.cache_clear()
-    workers = min(workers, len(task_list))
-    # Per-task dispatch: specs are a few ints/strings and results are
-    # compact, so pickling is trivial — while tasks are emitted in
-    # ascending-n order, meaning any chunking would hand the expensive
-    # large-n tail to a single straggler worker.
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_task, task_list, chunksize=1))
+    results: List[Optional[MISRunResult]] = [None] * len(task_list)
+    for index, _, result in iter_indexed_results(task_list, jobs=jobs):
+        results[index] = result
+    return results  # type: ignore[return-value]

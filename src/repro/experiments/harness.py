@@ -63,6 +63,48 @@ class MISRunResult:
         return replace(self, metrics=metrics, parameters=dict(self.parameters),
                        raw=None)
 
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe dict for the on-disk results store.
+
+        The record always carries compact metrics (per-node counters and the
+        raw payload never hit disk); :meth:`from_record` restores an
+        equivalent compacted :class:`MISRunResult`.  ``node_averaged_awake``
+        and friends survive at full float precision, which is what lets a
+        resumed sweep re-aggregate to byte-identical rows.
+        """
+        compacted = self.compact()
+        return {
+            "algorithm": compacted.algorithm,
+            "graph_nodes": compacted.graph_nodes,
+            "graph_edges": compacted.graph_edges,
+            "mis": sorted(compacted.mis),
+            "verified": compacted.verified,
+            "independent": compacted.independent,
+            "maximal": compacted.maximal,
+            "metrics": compacted.metrics.to_json_dict(),
+            "wall_time_seconds": compacted.wall_time_seconds,
+            "seed": compacted.seed,
+            "parameters": dict(compacted.parameters),
+        }
+
+    @classmethod
+    def from_record(cls, data: Dict[str, Any]) -> "MISRunResult":
+        """Inverse of :meth:`to_record` (metrics come back compact)."""
+        return cls(
+            algorithm=data["algorithm"],
+            graph_nodes=int(data["graph_nodes"]),
+            graph_edges=int(data["graph_edges"]),
+            mis=set(data["mis"]),
+            verified=bool(data["verified"]),
+            independent=bool(data["independent"]),
+            maximal=bool(data["maximal"]),
+            metrics=CompactRunMetrics.from_json_dict(data["metrics"]),
+            wall_time_seconds=float(data["wall_time_seconds"]),
+            seed=data["seed"],
+            parameters=dict(data["parameters"]),
+            raw=None,
+        )
+
     def summary(self) -> Dict[str, Any]:
         """Flat dictionary used by tables, sweeps and the CLI."""
         data = {

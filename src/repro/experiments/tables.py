@@ -58,6 +58,24 @@ def format_series(series: Iterable[Tuple[Any, Any]], x_label: str = "n",
     return format_table(rows, columns=[x_label, y_label], title=title)
 
 
+def render_sweep(sweep, title: str = "sweep results",
+                 fit_metric: str = "awake_max") -> str:
+    """Render a sweep's rows plus its growth-law fits as one text block.
+
+    Shared by ``repro-mis sweep`` (live results) and ``repro-mis report``
+    (results rebuilt from an on-disk store), so both code paths print the
+    same artefact for the same data.  *sweep* is anything exposing
+    ``rows()`` and ``fits(metric)`` (a
+    :class:`~repro.experiments.sweeps.SweepResult`).
+    """
+    parts = [format_table(sweep.rows(), title=title)]
+    fits = sweep.fits(fit_metric)
+    if fits:
+        parts.append("")
+        parts.append(format_table(fits, title=f"growth-law fits ({fit_metric})"))
+    return "\n".join(parts)
+
+
 def ascii_plot(series: Sequence[Tuple[float, float]], width: int = 48,
                label: str = "") -> str:
     """Render a crude horizontal-bar plot of an (x, y) series.

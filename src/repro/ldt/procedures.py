@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.ldt.schedule import block_length, next_block, schedule_for
+from repro.ldt.schedule import next_block, schedule_for
 from repro.ldt.structure import LDTState
 from repro.sim.actions import WakeCall
 

@@ -82,6 +82,40 @@ class CompactRunMetrics:
             "max_message_bits": self.max_message_bits,
         }
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict losslessly round-trippable via :meth:`from_json_dict`.
+
+        Unlike :meth:`summary` (which rounds for display), this preserves
+        ``node_averaged_awake`` at full precision — the on-disk results store
+        relies on the round trip being exact so that a resumed sweep
+        aggregates to byte-identical rows.
+        """
+        return {
+            "node_count": self.node_count,
+            "awake_complexity": self.awake_complexity,
+            "node_averaged_awake": self.node_averaged_awake,
+            "total_awake_rounds": self.total_awake_rounds,
+            "round_complexity": self.round_complexity,
+            "active_rounds": self.active_rounds,
+            "total_messages": self.total_messages,
+            "max_message_bits": self.max_message_bits,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "CompactRunMetrics":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            node_count=int(data["node_count"]),
+            awake_complexity=int(data["awake_complexity"]),
+            node_averaged_awake=float(data["node_averaged_awake"]),
+            total_awake_rounds=int(data["total_awake_rounds"]),
+            round_complexity=int(data["round_complexity"]),
+            active_rounds=int(data["active_rounds"]),
+            total_messages=int(data["total_messages"]),
+            max_message_bits=(None if data["max_message_bits"] is None
+                              else int(data["max_message_bits"])),
+        )
+
 
 @dataclass
 class RunMetrics:

@@ -11,7 +11,7 @@ set).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ import pytest
 from repro.algorithms.common import MISDecision, mis_from_result
 from repro.algorithms.naive_greedy import naive_greedy_protocol
 from repro.algorithms.vt_mis import assign_sequential_ids
-from repro.core.mis import greedy_mis_from_order, is_maximal_independent_set
+from repro.core.mis import greedy_mis_from_order
 from repro.experiments.harness import run_mis
 from repro.graphs import generators
 from repro.sim import run_protocol

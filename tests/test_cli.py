@@ -65,3 +65,93 @@ class TestCLI:
             main(["sweep", "--algorithms", "luby", "--sizes", "16",
                   "--jobs", "-2"])
         assert "--jobs must be >= 0" in capsys.readouterr().err
+
+
+class TestCLIStore:
+    SWEEP = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+             "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+
+    def test_output_resume_report_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP) == 0
+        plain_out = capsys.readouterr().out
+
+        assert main(self.SWEEP + ["--output", path]) == 0
+        stored_out = capsys.readouterr().out
+        assert stored_out == plain_out
+
+        # Resuming a complete store re-executes nothing and reprints the
+        # same table.
+        assert main(self.SWEEP + ["--output", path, "--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert resumed_out == plain_out
+
+        # report rebuilds rows and fits from disk alone.
+        assert main(["report", path]) == 0
+        report_out = capsys.readouterr().out
+        assert "stored sweep results" in report_out
+        for line in plain_out.splitlines():
+            if "luby" in line:
+                assert line in report_out
+
+    def test_resume_requires_output(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--resume"])
+        assert "--resume requires --output" in capsys.readouterr().err
+
+    def test_fresh_run_on_existing_store_errors(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP + ["--output", path]) == 0
+        capsys.readouterr()
+        assert main(self.SWEEP + ["--output", path]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_report_missing_store_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "results store" in capsys.readouterr().err
+
+    def test_report_unknown_metric_errors_cleanly(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP + ["--output", path]) == 0
+        capsys.readouterr()
+        assert main(["report", path, "--metric", "awake_maxx"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown metric 'awake_maxx'" in err
+        assert "awake_max" in err
+
+    def test_report_flags_incomplete_store(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.jsonl"
+        assert main(self.SWEEP + ["--output", str(path)]) == 0
+        capsys.readouterr()
+        # Drop the last result record: the store is now missing one of the
+        # two grid tasks the header promises.
+        lines = path.read_text(encoding="utf-8").splitlines(True)
+        assert sum(1 for ln in lines
+                   if json.loads(ln)["kind"] == "result") == 2
+        path.write_text("".join(lines[:-1]), encoding="utf-8")
+        assert main(["report", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "incomplete (1 of 2" in captured.err
+        assert "INCOMPLETE 1/2 tasks" in captured.out
+
+    def test_report_rejects_grid_key_columns_as_metrics(self, tmp_path,
+                                                        capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP + ["--output", path]) == 0
+        capsys.readouterr()
+        for column in ("n", "runs"):
+            assert main(["report", path, "--metric", column]) == 2
+            assert f"unknown metric '{column}'" in capsys.readouterr().err
+
+    def test_experiment_output_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "e1.jsonl")
+        argv = ["experiment", "E1", "--scale", "smoke", "--seed", "4",
+                "--output", path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["report", path]) == 0
+        assert "awake_mis" in capsys.readouterr().out

@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.executor import (
     SweepTask,
     execute_tasks,
+    iter_task_results,
     plan_sweep_tasks,
     resolve_jobs,
     run_task,
@@ -102,6 +103,89 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
             resolve_jobs(-2)
+
+    def test_error_message_lists_accepted_forms(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_jobs(-2)
+        message = str(excinfo.value)
+        assert "positive int" in message
+        assert "one worker per CPU" in message
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(2.5)
+
+    def test_float_zero_and_bools_rejected(self):
+        # 0.0/False must not slip through the "0 means per-CPU" branch and
+        # True must not count as the int 1.
+        for bad in (0.0, False, True, 1.0):
+            with pytest.raises(ConfigurationError):
+                resolve_jobs(bad)
+
+
+class TestStreaming:
+    def test_jobs1_streams_in_task_order(self):
+        tasks = plan_sweep_tasks(**GRID)
+        pairs = list(iter_task_results(tasks, jobs=1))
+        assert [task for task, _ in pairs] == tasks
+        reference = execute_tasks(tasks, jobs=1)
+        assert [result.mis for _, result in pairs] == [r.mis
+                                                       for r in reference]
+
+    def test_parallel_stream_covers_every_task_exactly_once(self):
+        tasks = plan_sweep_tasks(**GRID)
+        pairs = list(iter_task_results(tasks, jobs=4))
+        assert sorted(task.run_seed for task, _ in pairs) == sorted(
+            task.run_seed for task in tasks)
+        by_seed = {task.run_seed: result for task, result in pairs}
+        reference = execute_tasks(tasks, jobs=1)
+        for task, expected in zip(tasks, reference):
+            assert by_seed[task.run_seed].mis == expected.mis
+
+    def test_progress_callback_sees_every_execution(self):
+        tasks = plan_sweep_tasks(**GRID)
+        seen = []
+
+        def progress(task, result, done, total):
+            seen.append((task.run_seed, done, total))
+
+        list(iter_task_results(tasks, jobs=1, progress=progress))
+        assert [done for _, done, _ in seen] == list(range(1, len(tasks) + 1))
+        assert all(total == len(tasks) for _, _, total in seen)
+        assert sorted(seed for seed, _, _ in seen) == sorted(
+            t.run_seed for t in tasks)
+
+    def test_yielded_results_are_compact(self):
+        tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                 repetitions=1, seed=7)
+        for _, result in iter_task_results(tasks, jobs=1):
+            assert isinstance(result.metrics, CompactRunMetrics)
+            assert result.raw is None
+
+    def test_abandoning_the_stream_shuts_the_pool_down(self):
+        tasks = plan_sweep_tasks(**GRID)
+        stream = iter_task_results(tasks, jobs=4)
+        next(stream)
+        stream.close()  # must not hang on queued futures
+
+
+class TestGraphCacheLifecycle:
+    def test_coordinator_cache_cleared_after_streaming(self):
+        from repro.experiments.executor import _build_graph
+
+        tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                 repetitions=2, seed=11)
+        list(iter_task_results(tasks, jobs=1))
+        assert _build_graph.cache_info().currsize == 0
+
+    def test_worker_initializer_resets_the_cache(self):
+        from repro.experiments.executor import (_build_graph,
+                                                _reset_worker_graph_cache)
+
+        _build_graph("gnp", 16, 3)
+        assert _build_graph.cache_info().currsize > 0
+        _reset_worker_graph_cache()
+        assert _build_graph.cache_info().currsize == 0
 
 
 class TestSerialParallelEquivalence:

@@ -160,7 +160,7 @@ class TestAnalysisExperiments:
 class TestRegistry:
     def test_available_experiments(self):
         assert registry.available_experiments() == [
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
         ]
 
     def test_unknown_experiment_rejected(self):
@@ -190,3 +190,21 @@ class TestRegistry:
         report = registry.run_experiment("E1", scale="smoke", seed=4)
         assert report.passed
         assert any(row["algorithm"] == "awake_mis" for row in report.rows)
+
+    def test_e9_smoke(self):
+        report = registry.run_experiment("E9", scale="smoke", seed=5)
+        assert report.passed
+        assert {row["algorithm"] for row in report.rows} == {"awake_mis",
+                                                             "luby"}
+        assert all(fit["metric"] == "avg_awake_mean" for fit in report.fits)
+
+    def test_e9_resumes_from_store(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        path = tmp_path / "e9.jsonl"
+        first = registry.run_experiment("E9", scale="smoke", seed=5,
+                                        store=ResultStore(path))
+        resumed = registry.run_experiment("E9", scale="smoke", seed=5,
+                                          store=ResultStore(path), resume=True)
+        assert repr(resumed.rows) == repr(first.rows)
+        assert resumed.fits == first.fits

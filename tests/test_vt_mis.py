@@ -142,5 +142,5 @@ class TestInputs:
             local_inputs=local_inputs, seed=1,
         )
         mis = mis_from_result(result)
-        order = sorted(labels, key=lambda l: local_inputs[l]["id"])
+        order = sorted(labels, key=lambda label: local_inputs[label]["id"])
         assert mis == greedy_mis_from_order(small_gnp, order)
