@@ -82,3 +82,40 @@ def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale,
         parallel_tasks_per_second=round(parallel_rate, 3),
         speedup=round(serial_seconds / max(parallel_seconds, 1e-9), 3),
     )
+
+
+def test_bench_backend_matrix(repro_scale, bench_record):
+    """Time one sweep per execution backend and record tasks/sec for each.
+
+    Byte-identity across backends is asserted here too (a benchmark that
+    silently computed different numbers would be meaningless); the timing
+    spread — serial vs GIL-bound threads vs pool vs framed-JSON
+    subprocesses — is what the perf trajectory tracks per backend.
+    """
+    from repro.experiments.backends import available_backends
+
+    grid = GRID_BY_SCALE[repro_scale]
+    jobs = min(4, os.cpu_count() or 1)
+    task_count = len(plan_sweep_tasks(**grid))
+
+    reference = None
+    rows, numbers = [], {}
+    for backend in available_backends():
+        started = time.perf_counter()
+        sweep = run_sweep(**grid, jobs=jobs, backend=backend)
+        seconds = time.perf_counter() - started
+        if reference is None:
+            reference = sweep
+        assert repr(sweep.rows()) == repr(reference.rows())
+        rate = task_count / max(seconds, 1e-9)
+        rows.append({"backend": backend, "jobs": jobs,
+                     "seconds": round(seconds, 3),
+                     "tasks_per_s": round(rate, 2)})
+        numbers[f"{backend}_seconds"] = round(seconds, 4)
+        numbers[f"{backend}_tasks_per_second"] = round(rate, 3)
+
+    print()
+    print(format_table(rows, title=f"backend matrix ({task_count} tasks, "
+                                   f"jobs={jobs})"))
+    bench_record("backend_matrix", scale=repro_scale, tasks=task_count,
+                 jobs=jobs, cpu_count=os.cpu_count(), **numbers)

@@ -7,36 +7,42 @@ Sub-commands
     Run one MIS algorithm on one generated graph and print its metrics.
 ``sweep``
     Run a scaling sweep over several sizes/algorithms and print the table
-    plus growth-law fits.  ``--jobs K`` fans the grid out over ``K`` worker
-    processes (``--jobs 0`` uses every CPU); because the sweep executor
+    plus growth-law fits.  ``--jobs K`` fans the grid out over ``K``
+    workers (``--jobs 0`` uses every CPU) and ``--backend`` picks where
+    they run (serial/thread/process/async); because the sweep executor
     derives every task seed up front, the printed rows and fits are
-    identical for every ``--jobs`` value.  ``--output FILE`` persists every
-    result to a JSONL store as it completes; ``--resume`` continues an
-    interrupted sweep from that store without re-running recorded tasks.
+    identical for every ``--jobs``/``--backend`` combination.  ``--output
+    FILE`` persists every result to a JSONL store as it completes
+    (``--shards N`` splits it into N shard files); ``--resume`` continues
+    an interrupted sweep from that store without re-running recorded tasks.
 ``experiment``
     Regenerate one of the paper experiments E1–E9 (see DESIGN.md §3).
-    ``--jobs`` parallelises the sweep-backed experiments E1–E5 and E9 the
-    same way; ``--output``/``--resume`` give them the resumable store;
-    E6–E8 ignore all three.
+    ``--jobs``/``--backend`` parallelise the sweep-backed experiments
+    E1–E5 and E9 the same way; ``--output``/``--shards``/``--resume`` give
+    them the resumable store; E6–E8 ignore all of them.
 ``report``
     Rebuild the sweep table and growth-law fits from a JSONL store written
     by ``sweep``/``experiment --output``, without re-running anything.
+    Accepts single-file and sharded stores; ``--csv FILE`` additionally
+    exports the rows for notebook-side analysis.
 ``figure``
     Print the paper's Figure 1/2 worked example.
 ``list``
-    List available algorithms, graph families and experiments.
+    List available algorithms, graph families, backends and experiments.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
+from repro.experiments.backends import available_backends
 from repro.experiments.harness import available_algorithms, run_mis
 from repro.experiments.registry import available_experiments, run_experiment
-from repro.experiments.store import ResultStore, load_sweep_result
+from repro.experiments.store import load_sweep_result, open_store
 from repro.experiments.sweeps import run_sweep
 from repro.experiments.tables import format_table, render_sweep
 from repro.graphs.generators import FAMILIES, by_name
@@ -49,8 +55,19 @@ _STORE_EPILOG = (
     "replays recorded tasks from the store instead of executing them; the "
     "final table and fits are byte-identical to an uninterrupted run.  "
     "--resume requires --output, and a store holds exactly one sweep "
-    "configuration.  Inspect a store later with 'repro-mis report FILE'."
+    "configuration.  --shards N splits the store into N JSONL shard files "
+    "(FILE.shard-0 ... FILE.shard-N-1, or shard-K.jsonl inside FILE when "
+    "it is a directory) with the same per-shard durability; reads merge "
+    "every shard, so --resume and 'repro-mis report' accept the base path "
+    "under any shard count.  Backends: --backend serial|thread|process|"
+    "async picks where tasks execute — results are byte-identical on "
+    "every backend; 'async' restarts crashed workers and requeues their "
+    "tasks.  Inspect a store later with 'repro-mis report FILE'."
 )
+
+_BACKEND_HELP = ("execution backend for the grid (default: serial when "
+                 "--jobs 1, process pool otherwise; async = crash-"
+                 "recovering worker subprocesses)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,7 +81,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one algorithm on one graph")
     run_parser.add_argument("--algorithm", default="awake_mis",
                             choices=available_algorithms())
-    run_parser.add_argument("--family", default="gnp", choices=sorted(FAMILIES))
+    run_parser.add_argument("--family", default="gnp",
+                            help="graph family (see 'repro-mis list')")
     run_parser.add_argument("--n", type=int, default=128)
     run_parser.add_argument("--seed", type=int, default=1)
 
@@ -76,15 +94,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--sizes", nargs="+", type=int,
                               default=[64, 128, 256])
     sweep_parser.add_argument("--families", nargs="+", default=["gnp"],
-                              choices=sorted(FAMILIES))
+                              help="graph families (see 'repro-mis list')")
     sweep_parser.add_argument("--repetitions", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=1)
     sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="worker processes for the grid "
+                              help="workers for the grid "
                                    "(1 = in-process, 0 = one per CPU)")
+    sweep_parser.add_argument("--backend", default=None,
+                              choices=available_backends(),
+                              help=_BACKEND_HELP)
     sweep_parser.add_argument("--output", metavar="FILE", default=None,
                               help="JSONL results store: persist every task "
                                    "result as it completes")
+    sweep_parser.add_argument("--shards", type=int, default=None,
+                              metavar="N",
+                              help="split --output into N JSONL shard files "
+                                   "(one append stream per shard; reads "
+                                   "merge all shards)")
     sweep_parser.add_argument("--resume", action="store_true",
                               help="skip tasks already recorded in --output "
                                    "and replay their stored metrics")
@@ -98,12 +124,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                    choices=["smoke", "default", "full"])
     experiment_parser.add_argument("--seed", type=int, default=None)
     experiment_parser.add_argument("--jobs", type=int, default=1,
-                                   help="worker processes for the sweep-backed "
+                                   help="workers for the sweep-backed "
                                         "experiments E1-E5 and E9 (1 = "
                                         "in-process, 0 = one per CPU)")
+    experiment_parser.add_argument("--backend", default=None,
+                                   choices=available_backends(),
+                                   help=_BACKEND_HELP)
     experiment_parser.add_argument("--output", metavar="FILE", default=None,
                                    help="JSONL results store for the "
                                         "sweep-backed experiments")
+    experiment_parser.add_argument("--shards", type=int, default=None,
+                                   metavar="N",
+                                   help="split --output into N JSONL shard "
+                                        "files")
     experiment_parser.add_argument("--resume", action="store_true",
                                    help="skip tasks already recorded in "
                                         "--output")
@@ -113,27 +146,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rebuild tables/fits from a results store without re-running",
         epilog="The store must have been written by 'repro-mis sweep "
                "--output' or 'repro-mis experiment --output'; a complete "
-               "store reproduces the original run's table byte-for-byte.",
+               "store reproduces the original run's table byte-for-byte.  "
+               "FILE may be a single-file store, the base path of a "
+               "sharded store (FILE.shard-K siblings), or a shard "
+               "directory — shards are merged automatically.  --csv OUT "
+               "additionally writes the table rows as CSV ('-' = stdout) "
+               "for notebook-side analysis.",
     )
     report_parser.add_argument("store", metavar="FILE",
-                               help="JSONL results store to read")
+                               help="JSONL results store to read (single "
+                                    "file, sharded base path, or shard "
+                                    "directory)")
     report_parser.add_argument("--metric", default="awake_max",
                                help="metric for the growth-law fits "
                                     "(default: awake_max)")
+    report_parser.add_argument("--csv", metavar="OUT", default=None,
+                               help="also write the table rows as CSV to "
+                                    "OUT ('-' = stdout)")
 
     sub.add_parser("figure", help="print the Figure 1/2 worked example")
     sub.add_parser("list", help="list algorithms, families and experiments")
     return parser
 
 
-def _open_store(parser: argparse.ArgumentParser,
-                args: argparse.Namespace) -> Optional[ResultStore]:
-    """Build the ResultStore for --output/--resume (None when unused)."""
+def _open_store(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Build the results store for --output/--shards/--resume (or None).
+
+    ``--shards N`` selects a sharded store explicitly; without it the path
+    is sniffed, so resuming a store that was written sharded keeps working
+    without repeating the flag.
+    """
     if getattr(args, "resume", False) and not getattr(args, "output", None):
         parser.error("--resume requires --output (the store to resume from)")
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        parser.error("--shards must be >= 1 (the number of shard files)")
+    if shards is not None and not getattr(args, "output", None):
+        parser.error("--shards requires --output (the store to shard)")
     if getattr(args, "output", None):
-        return ResultStore(args.output)
+        return open_store(args.output, shards=shards)
     return None
+
+
+def _write_rows_csv(rows: List[dict], destination: str) -> None:
+    """Write table rows as CSV to *destination* (``-`` = stdout)."""
+    if not rows:
+        return
+    handle = sys.stdout if destination == "-" else open(
+        destination, "w", newline="", encoding="utf-8")
+    try:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -144,8 +211,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 0 (1 = in-process, 0 = one per CPU)")
 
     if args.command == "run":
-        graph = by_name(args.family, args.n, seed=args.seed)
-        result = run_mis(graph, algorithm=args.algorithm, seed=args.seed)
+        try:
+            graph = by_name(args.family, args.n, seed=args.seed)
+            result = run_mis(graph, algorithm=args.algorithm, seed=args.seed)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(format_table([result.summary()],
                            title=f"{args.algorithm} on {args.family}(n={args.n})"))
         return 0 if result.verified else 1
@@ -160,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 repetitions=args.repetitions,
                 seed=args.seed,
                 jobs=args.jobs,
+                backend=args.backend,
                 keep_runs=False,
                 store=store,
                 resume=args.resume,
@@ -178,6 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             report = run_experiment(args.experiment_id, scale=args.scale,
                                     seed=args.seed, jobs=args.jobs,
+                                    backend=args.backend,
                                     store=store, resume=args.resume)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -223,6 +296,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  + (f"; INCOMPLETE {recorded}/{expected} tasks" if incomplete
                     else "") + ")")
         print(render_sweep(sweep, title=title, fit_metric=args.metric))
+        if args.csv is not None:
+            _write_rows_csv(sweep.rows(), args.csv)
         return 0 if sweep.all_verified and not incomplete else 1
 
     if args.command == "figure":
@@ -236,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         print("algorithms :", ", ".join(available_algorithms()))
         print("families   :", ", ".join(sorted(FAMILIES)))
+        print("backends   :", ", ".join(available_backends()))
         print("experiments:", ", ".join(available_experiments()))
         return 0
 

@@ -16,6 +16,29 @@ class ConfigurationError(ReproError):
     """Raised when an algorithm or simulator is configured inconsistently."""
 
 
+class UnknownFamilyError(ConfigurationError, KeyError):
+    """Raised when a graph family name is not in the generator registry.
+
+    Derives from :class:`ConfigurationError` so the CLI renders it as a
+    clean ``error: ...`` line, and from :class:`KeyError` for compatibility
+    with callers that catch the historical mapping miss.  ``__str__`` is
+    overridden because ``KeyError`` would ``repr()`` the message, wrapping
+    it in quotes and mangling the formatting in CLI output.
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when an execution-backend worker fails irrecoverably.
+
+    The async subprocess backend restarts crashed workers and requeues
+    their in-flight tasks; this error surfaces only when a task keeps
+    killing its workers (crash loop) or a task raised inside a worker (the
+    traceback text is included)."""
+
+
 class SimulationError(ReproError):
     """Raised when the simulator detects an illegal protocol action."""
 

@@ -1,6 +1,16 @@
-"""Experiment harness: single runs, streaming parallel sweeps, the JSONL
-results store, tables, and the E1–E9 registry."""
+"""Experiment harness: single runs, streaming sweeps over pluggable
+execution backends, the (optionally sharded) JSONL results store, tables,
+and the E1–E9 registry."""
 
+from repro.experiments.backends import (
+    BACKENDS,
+    AsyncSubprocessBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
 from repro.experiments.executor import (
     SweepTask,
     execute_tasks,
@@ -19,22 +29,35 @@ from repro.experiments.harness import (
 from repro.experiments.store import (
     CODE_SCHEMA_VERSION,
     ResultStore,
+    ShardedResultStore,
+    discover_shards,
     load_sweep_result,
+    open_store,
     task_key,
 )
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "CODE_SCHEMA_VERSION",
+    "AsyncSubprocessBackend",
     "MISRunResult",
+    "ProcessBackend",
     "ResultStore",
+    "SerialBackend",
+    "ShardedResultStore",
     "SweepTask",
+    "ThreadBackend",
     "available_algorithms",
+    "available_backends",
     "default_message_bit_limit",
+    "discover_shards",
     "execute_tasks",
     "iter_task_results",
     "load_sweep_result",
+    "open_store",
     "plan_sweep_tasks",
+    "resolve_backend",
     "resolve_jobs",
     "run_mis",
     "run_task",

@@ -27,6 +27,13 @@ Design invariants
 ``jobs=1`` (the default) executes in-process with no pool, which keeps
 single-run debugging, tracebacks and profiling simple.
 
+*Where* tasks execute is delegated to a pluggable execution backend
+(:mod:`repro.experiments.backends`): ``backend="serial"`` runs in-process,
+``"thread"`` in a thread pool, ``"process"`` in the historical process pool
+and ``"async"`` in asyncio-managed worker subprocesses that survive worker
+crashes.  Every backend consumes the same up-front-seeded task specs, so
+they are interchangeable without affecting a single result byte.
+
 Two consumption modes are offered: :func:`execute_tasks` returns the full
 result list in task order (batch), while :func:`iter_task_results` /
 :func:`iter_indexed_results` stream ``(task, result)`` pairs as workers
@@ -38,13 +45,12 @@ and persist incrementally (see :mod:`repro.experiments.sweeps` and
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
-                    Sequence, Tuple)
+                    Sequence, Tuple, Union)
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownFamilyError
 from repro.experiments.harness import MISRunResult, run_mis
 from repro.graphs.generators import by_name
 from repro.rng import SeedLike, make_rng
@@ -76,6 +82,34 @@ class SweepTask:
         """Grid cell this task belongs to: ``(algorithm, family, n)``."""
         return (self.algorithm, self.family, self.n)
 
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe dict round-trippable via :meth:`from_json`.
+
+        Shared by the on-disk results store and the subprocess worker
+        protocol, so a task spec means exactly the same thing on disk, on a
+        pipe and in memory.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "graph_seed": self.graph_seed,
+            "run_seed": self.run_seed,
+            "params": [[key, value] for key, value in self.params],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "SweepTask":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            algorithm=data["algorithm"],
+            family=data["family"],
+            n=int(data["n"]),
+            graph_seed=int(data["graph_seed"]),
+            run_seed=int(data["run_seed"]),
+            params=tuple((key, value) for key, value in data["params"]),
+        )
+
 
 def plan_sweep_tasks(
     algorithms: Sequence[str],
@@ -91,7 +125,25 @@ def plan_sweep_tasks(
     the fixed grid order (family → n → graph seeds → algorithm → run seeds).
     Nothing downstream touches the master RNG, which is what makes parallel
     execution bit-identical to serial execution.
+
+    Families and algorithms are validated eagerly: a typo must fail here,
+    before a sweep touches its results store — a header stamped for an
+    unrunnable grid would poison the store file.
     """
+    from repro.experiments.harness import available_algorithms
+    from repro.graphs.generators import FAMILIES
+
+    for family in families:
+        if family not in FAMILIES:
+            raise UnknownFamilyError(
+                f"unknown graph family '{family}'; known: {sorted(FAMILIES)}"
+            )
+    for algorithm in algorithms:
+        if algorithm not in available_algorithms():
+            raise ConfigurationError(
+                f"unknown algorithm '{algorithm}'; available: "
+                f"{available_algorithms()}"
+            )
     rng = make_rng(seed)
     algorithm_params = algorithm_params or {}
     tasks: List[SweepTask] = []
@@ -176,24 +228,37 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 #: counts completed executions (1-based) and *total* is the task count.
 ProgressCallback = Callable[[SweepTask, MISRunResult, int, int], None]
 
+#: A backend selector: ``None`` (pick serial/process from *jobs*), a backend
+#: name from :data:`repro.experiments.backends.BACKENDS`, or an already
+#: constructed backend object.
+BackendLike = Union[None, str, Any]
+
 
 def iter_task_results(
     tasks: Iterable[SweepTask],
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    backend: BackendLike = None,
 ) -> Iterator[Tuple[SweepTask, MISRunResult]]:
     """Stream ``(task, result)`` pairs as executions finish.
 
     This is the streaming counterpart of :func:`execute_tasks`: nothing is
     buffered, so a consumer can persist or aggregate each result and let it
     go — the footprint of a sweep no longer grows with the grid size.  With
-    ``jobs=1`` tasks run in-process in task order; with a pool the pairs
-    arrive in **completion order** (the yielded ``task`` says which one
-    finished).  Because every seed was fixed up front by
-    :func:`plan_sweep_tasks`, arrival order cannot affect any result —
-    consumers that need deterministic aggregation simply fold the pairs
-    back into task order (as :func:`repro.experiments.sweeps.run_sweep`
-    does).
+    the serial backend tasks run in-process in task order; with a
+    multi-worker backend the pairs arrive in **completion order** (the
+    yielded ``task`` says which one finished).  Because every seed was fixed
+    up front by :func:`plan_sweep_tasks`, arrival order cannot affect any
+    result — consumers that need deterministic aggregation simply fold the
+    pairs back into task order (as :func:`repro.experiments.sweeps
+    .run_sweep` does).
+
+    *backend* selects where tasks execute (see
+    :mod:`repro.experiments.backends`): ``None`` keeps the historical
+    behaviour — in-process for ``jobs=1``, the process pool otherwise —
+    while ``"serial"``/``"thread"``/``"process"``/``"async"`` (or a backend
+    object) pick one explicitly.  Every backend yields byte-identical
+    results; they differ only in placement and failure model.
 
     *progress*, when given, is called in the coordinator process as
     ``progress(task, result, done, total)`` after each completed execution
@@ -201,7 +266,8 @@ def iter_task_results(
     assert that skipped tasks were never re-executed.
     """
     for _, task, result in iter_indexed_results(tasks, jobs=jobs,
-                                                progress=progress):
+                                                progress=progress,
+                                                backend=backend):
         yield task, result
 
 
@@ -209,56 +275,38 @@ def iter_indexed_results(
     tasks: Iterable[SweepTask],
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
+    backend: BackendLike = None,
 ) -> Iterator[Tuple[int, SweepTask, MISRunResult]]:
     """Like :func:`iter_task_results` but each pair carries the task's
     position in *tasks*, for consumers that fold completion-order arrivals
     back into deterministic task order."""
+    # Imported lazily: backends import run_task/_build_graph from this
+    # module, so a top-level import would be circular.
+    from repro.experiments.backends import resolve_backend
+
     task_list = list(tasks)
-    workers = resolve_jobs(jobs)
+    chosen = resolve_backend(backend, jobs=jobs, total=len(task_list))
     total = len(task_list)
     done = 0
-    if workers == 1 or total <= 1:
-        try:
-            for index, task in enumerate(task_list):
-                result = run_task(task)
-                done += 1
-                if progress is not None:
-                    progress(task, result, done, total)
-                yield index, task, result
-        finally:
-            # Don't pin graphs in the coordinator process beyond the sweep.
-            _build_graph.cache_clear()
-        return
-    workers = min(workers, total)
-    # Per-task submission (no chunking): specs are a few ints/strings and
-    # results are compact, so pickling is trivial — while tasks are emitted
-    # in ascending-n order, meaning chunking would hand the expensive
-    # large-n tail to a single straggler worker.
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_reset_worker_graph_cache,
-    ) as pool:
-        future_to_index = {pool.submit(run_task, task): index
-                           for index, task in enumerate(task_list)}
-        try:
-            for future in as_completed(future_to_index):
-                index = future_to_index[future]
-                result = future.result()
-                done += 1
-                if progress is not None:
-                    progress(task_list[index], result, done, total)
-                yield index, task_list[index], result
-        finally:
-            # If the consumer abandons the stream early, don't let queued
-            # tasks keep the pool busy through the context-manager join.
-            if done < total:
-                for future in future_to_index:
-                    future.cancel()
-            _build_graph.cache_clear()
+    stream = chosen.submit_tasks(task_list)
+    try:
+        for index, result in stream:
+            done += 1
+            if progress is not None:
+                progress(task_list[index], result, done, total)
+            yield index, task_list[index], result
+    finally:
+        # Deterministic cleanup on early abandonment: closing the backend
+        # stream cancels queued work and shuts workers down.
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
 
 
 def execute_tasks(
     tasks: Iterable[SweepTask],
     jobs: Optional[int] = 1,
+    backend: BackendLike = None,
 ) -> List[MISRunResult]:
     """Run every task and return results in task order.
 
@@ -269,6 +317,7 @@ def execute_tasks(
     """
     task_list = list(tasks)
     results: List[Optional[MISRunResult]] = [None] * len(task_list)
-    for index, _, result in iter_indexed_results(task_list, jobs=jobs):
+    for index, _, result in iter_indexed_results(task_list, jobs=jobs,
+                                                 backend=backend):
         results[index] = result
     return results  # type: ignore[return-value]

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.analysis.components import run_shattering_experiment
 from repro.analysis.residual import run_residual_experiment
 from repro.core.virtual_tree import communication_set, figure_example
+from repro.experiments.executor import BackendLike
 from repro.experiments.sweeps import SweepResult, run_sweep
 from repro.experiments.tables import format_table
 from repro.graphs.generators import gnp_graph
@@ -77,10 +78,10 @@ class ExperimentReport:
         return "\n".join(parts)
 
 
-#: Experiment runners take (scale, seed, jobs, store, resume); *jobs*
-#: controls how many worker processes the underlying sweep uses and
-#: *store*/*resume* select the on-disk results store (both ignored by the
-#: single-process experiments E6-E8).
+#: Experiment runners take (scale, seed, jobs, store, resume, backend);
+#: *jobs*/*backend* control how many workers the underlying sweep uses and
+#: on which execution backend, and *store*/*resume* select the on-disk
+#: results store (all ignored by the single-process experiments E6-E8).
 ExperimentRunner = Callable[..., ExperimentReport]
 
 
@@ -110,7 +111,8 @@ def _scaling_report(experiment_id: str, title: str, claim: str,
 def experiment_e1(scale: str = "default", seed: SeedLike = 1,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Theorem 13: awake complexity of Awake-MIS grows ~ log log n."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -122,6 +124,7 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     return _scaling_report(
         "E1",
@@ -136,7 +139,8 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1,
 def experiment_e2(scale: str = "default", seed: SeedLike = 2,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Theorem 13 comparison: Awake-MIS vs Luby / rank-greedy baselines."""
     sweep = run_sweep(
         algorithms=["awake_mis", "luby", "rank_greedy"],
@@ -148,6 +152,7 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     report = _scaling_report(
         "E2",
@@ -168,7 +173,8 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2,
 def experiment_e3(scale: str = "default", seed: SeedLike = 3,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Corollary 14: the round-efficient variant trades awake for rounds."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -181,6 +187,7 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     return _scaling_report(
         "E3",
@@ -198,7 +205,8 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3,
 def experiment_e4(scale: str = "default", seed: SeedLike = 4,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Lemma 10: VT-MIS has O(log I) awake vs the naive O(I)."""
     sweep = run_sweep(
         algorithms=["vt_mis", "naive_greedy"],
@@ -210,6 +218,7 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     report = _scaling_report(
         "E4",
@@ -236,7 +245,8 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4,
 def experiment_e5(scale: str = "default", seed: SeedLike = 5,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Lemma 11 / Corollary 12: LDT-MIS awake complexity on small components."""
     sizes = SCALE_SIZES[scale]
     sweep = run_sweep(
@@ -249,6 +259,7 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     return _scaling_report(
         "E5",
@@ -267,7 +278,8 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5,
 def experiment_e6(scale: str = "default", seed: SeedLike = 6,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Lemma 2: residual sparsity of randomized greedy."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     graph = gnp_graph(n, expected_degree=16.0, seed=seed)
@@ -285,7 +297,8 @@ def experiment_e6(scale: str = "default", seed: SeedLike = 6,
 def experiment_e7(scale: str = "default", seed: SeedLike = 7,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Lemma 3: shattering under a random 2-Delta partition."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     result = run_shattering_experiment(
@@ -309,7 +322,8 @@ def experiment_e7(scale: str = "default", seed: SeedLike = 7,
 def experiment_e8(scale: str = "default", seed: SeedLike = 8,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Figures 1 and 2: the B([1,6]) worked example."""
     example = figure_example()
     expected = {"S_3": [3, 4, 5], "S_5": [5, 6], "common_round_3_5": 5}
@@ -341,7 +355,8 @@ def experiment_e8(scale: str = "default", seed: SeedLike = 8,
 def experiment_e9(scale: str = "default", seed: SeedLike = 9,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
-                  resume: bool = False) -> ExperimentReport:
+                  resume: bool = False,
+                  backend: "BackendLike" = None) -> ExperimentReport:
     """Node-averaged awake complexity: Awake-MIS vs Luby at larger n.
 
     Chatterjee, Gmyr and Pandurangan measure *node-averaged* awake
@@ -363,6 +378,7 @@ def experiment_e9(scale: str = "default", seed: SeedLike = 9,
         keep_runs=False,
         store=store,
         resume=resume,
+        backend=backend,
     )
     report = _scaling_report(
         "E9",
@@ -400,14 +416,16 @@ def run_experiment(experiment_id: str, scale: str = "default",
                    seed: SeedLike = None,
                    jobs: Optional[int] = 1,
                    store: Optional["ResultStore"] = None,
-                   resume: bool = False) -> ExperimentReport:
+                   resume: bool = False,
+                   backend: BackendLike = None) -> ExperimentReport:
     """Run one experiment by ID (``E1`` .. ``E9``).
 
-    *jobs* is forwarded to the sweep-backed experiments (E1–E5, E9) and
-    selects how many worker processes execute the grid; results are
-    identical for every value (seeds are planned up front by the executor).
-    *store*/*resume* likewise flow to the sweep so interrupted grids can be
-    continued; the single-process experiments E6–E8 ignore all three.
+    *jobs* and *backend* are forwarded to the sweep-backed experiments
+    (E1–E5, E9) and select how many workers execute the grid and on which
+    execution backend; results are identical for every combination (seeds
+    are planned up front by the executor).  *store*/*resume* likewise flow
+    to the sweep so interrupted grids can be continued; the single-process
+    experiments E6–E8 ignore all four.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -417,8 +435,10 @@ def run_experiment(experiment_id: str, scale: str = "default",
         raise KeyError(f"unknown scale '{scale}'")
     runner = EXPERIMENTS[key]
     if seed is None:
-        return runner(scale, jobs=jobs, store=store, resume=resume)
-    return runner(scale, seed, jobs=jobs, store=store, resume=resume)
+        return runner(scale, jobs=jobs, store=store, resume=resume,
+                      backend=backend)
+    return runner(scale, seed, jobs=jobs, store=store, resume=resume,
+                  backend=backend)
 
 
 def available_experiments() -> List[str]:

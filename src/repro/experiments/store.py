@@ -37,6 +37,13 @@ Record shapes::
 ``index`` is the task's position in the planned grid, which is what lets
 :func:`load_sweep_result` rebuild tables and fits in the exact order the
 live sweep aggregated them.
+
+When one append stream becomes the bottleneck, :class:`ShardedResultStore`
+splits the store into one JSONL shard per write lane (``out.jsonl.shard-K``
+or ``dir/shard-K.jsonl``) with identical per-shard semantics; reads merge
+every shard deterministically by grid index, so resume and ``repro-mis
+report`` work across *any* shard count.  :func:`open_store` sniffs which
+form a path is.
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.executor import SweepTask
@@ -82,25 +89,11 @@ def task_key(task: SweepTask,
 
 
 def _task_to_json(task: SweepTask) -> Dict[str, Any]:
-    return {
-        "algorithm": task.algorithm,
-        "family": task.family,
-        "n": task.n,
-        "graph_seed": task.graph_seed,
-        "run_seed": task.run_seed,
-        "params": [[key, value] for key, value in task.params],
-    }
+    return task.to_json()
 
 
 def _task_from_json(data: Dict[str, Any]) -> SweepTask:
-    return SweepTask(
-        algorithm=data["algorithm"],
-        family=data["family"],
-        n=int(data["n"]),
-        graph_seed=int(data["graph_seed"]),
-        run_seed=int(data["run_seed"]),
-        params=tuple((key, value) for key, value in data["params"]),
-    )
+    return SweepTask.from_json(data)
 
 
 class ResultStore:
@@ -212,6 +205,12 @@ class ResultStore:
                 for record in self.records()
                 if record.get("kind") == "result"}
 
+    def indexed_result_offsets(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(grid_index, byte_offset)`` for every intact result."""
+        for start, record in self._scan():
+            if record.get("kind") == "result":
+                yield int(record["index"]), start
+
     def iter_grid_ordered_results(
         self,
     ) -> Iterator[Tuple[int, SweepTask, MISRunResult]]:
@@ -221,11 +220,7 @@ class ResultStore:
         is parsed lazily when its turn comes, so rebuilding a report from a
         full-scale store stays cheap.
         """
-        entries = sorted(
-            (int(record["index"]), start) for start, record in self._scan()
-            if record.get("kind") == "result"
-        )
-        for index, offset in entries:
+        for index, offset in sorted(self.indexed_result_offsets()):
             record = self._record_at(offset)
             yield (index, _task_from_json(record["task"]),
                    MISRunResult.from_record(record["result"]))
@@ -398,17 +393,274 @@ class ResultStore:
         self.close()
 
 
+# --------------------------------------------------------------------------- #
+# Sharded stores
+# --------------------------------------------------------------------------- #
+def _shard_number(path: Path) -> int:
+    """Parse the shard index out of a shard file name."""
+    stem = path.name
+    digits = stem.rsplit("shard-", 1)[1]
+    if digits.endswith(".jsonl"):
+        digits = digits[: -len(".jsonl")]
+    return int(digits)
+
+
+def discover_shards(base: os.PathLike) -> List[Path]:
+    """Find the shard files of a sharded store, in shard order.
+
+    Two layouts are recognised: *suffix* (``out.jsonl`` →
+    ``out.jsonl.shard-0``, ``out.jsonl.shard-1``, ...) and *directory*
+    (``out_dir/`` → ``out_dir/shard-0.jsonl``, ...).  Returns ``[]`` when
+    neither matches, which is how :func:`open_store` decides a path is a
+    plain single-file store.
+    """
+    base = Path(base)
+    if base.is_dir():
+        found = [p for p in base.glob("shard-*.jsonl")
+                 if p.name[len("shard-"):-len(".jsonl")].isdigit()]
+    else:
+        prefix = base.name + ".shard-"
+        found = [p for p in base.parent.glob(base.name + ".shard-*")
+                 if p.name[len(prefix):].isdigit()]
+    return sorted(found, key=_shard_number)
+
+
+class ShardedResultStore:
+    """A results store split across several JSONL shard files.
+
+    One append stream per shard removes the single-file bottleneck once
+    many workers complete tasks faster than one ``write()+flush`` lane
+    keeps up.  Every shard is a full :class:`ResultStore` — same header,
+    same spec-hash keys, same atomic-line and torn-tail semantics — so
+    each shard repairs (or rejects) itself exactly like a single-file
+    store would.
+
+    Layouts (see :func:`discover_shards`): pass a base *file* path to get
+    sibling ``<base>.shard-K`` files, or an existing *directory* to get
+    ``shard-K.jsonl`` files inside it.
+
+    Records are routed by planned-grid index (``index % shards``) — a pure
+    function of the task, never of arrival order.  Reads **merge every
+    shard found on disk**, sorted by grid index, so the merged view is
+    deterministic and, crucially, independent of the shard count: a sweep
+    written under 4 shards can be resumed under 2 (new appends route to
+    the 2 write shards; the other 2 are still read) and reported under
+    any, byte-identically.
+    """
+
+    def __init__(self, base: os.PathLike,
+                 shards: Optional[int] = None) -> None:
+        self.base = Path(base)
+        if shards is not None and (not isinstance(shards, int)
+                                   or isinstance(shards, bool) or shards < 1):
+            raise ConfigurationError(
+                f"invalid shard count {shards!r}: need a positive int "
+                "(or None to reuse the shard files already on disk)"
+            )
+        self._requested = shards
+        self._read_stores: Optional[List[ResultStore]] = None
+        self._write_stores: Optional[List[ResultStore]] = None
+
+    # ------------------------------------------------------------------ #
+    # Shard layout
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """Base path (mirrors :attr:`ResultStore.path` for messages)."""
+        return self.base
+
+    def _shard_path(self, index: int) -> Path:
+        if self.base.is_dir():
+            return self.base / f"shard-{index}.jsonl"
+        return self.base.parent / f"{self.base.name}.shard-{index}"
+
+    def _stores(self) -> Tuple[List[ResultStore], List[ResultStore]]:
+        """Resolve (read_stores, write_stores), caching the layout.
+
+        Write shards are ``0 .. shards-1`` for the requested count
+        (default: the count found on disk); read shards are the union of
+        the write shards and everything discovered, so records written
+        under a larger historical shard count stay visible.
+        """
+        if self._read_stores is not None:
+            return self._read_stores, self._write_stores
+        existing = discover_shards(self.base)
+        if (not existing and self.base.is_file()
+                and self.base.stat().st_size > 0):
+            # The base path holds a plain single-file store (or some other
+            # file).  Sharding "next to" it would silently ignore every
+            # record in it — e.g. `--resume --shards N` on a store that
+            # was written unsharded would re-run the whole grid.
+            raise ConfigurationError(
+                f"{self.base}: path holds a single (unsharded) file; "
+                "resume it without --shards, or point the sharded store "
+                "at a fresh path"
+            )
+        count = self._requested if self._requested is not None else len(existing)
+        if count < 1:
+            raise ConfigurationError(
+                f"{self.base}: no shard files found and no shard count "
+                "requested; pass shards=N (CLI: --shards N) to create a "
+                "sharded store"
+            )
+        write_paths = [self._shard_path(i) for i in range(count)]
+        read_paths = list(write_paths)
+        for path in existing:
+            if path not in read_paths:
+                read_paths.append(path)
+        by_path: Dict[Path, ResultStore] = {p: ResultStore(p)
+                                            for p in read_paths}
+        self._read_stores = [by_path[p] for p in read_paths]
+        self._write_stores = [by_path[p] for p in write_paths]
+        return self._read_stores, self._write_stores
+
+    @property
+    def shard_paths(self) -> List[Path]:
+        """Paths of every shard this store reads (write shards first)."""
+        read, _ = self._stores()
+        return [store.path for store in read]
+
+    # ------------------------------------------------------------------ #
+    # ResultStore-compatible surface (what run_sweep / report consume)
+    # ------------------------------------------------------------------ #
+    def ensure_header(self, sweep_config: Dict[str, Any],
+                      resume: bool) -> None:
+        """Stamp/verify the configuration on every shard.
+
+        Each shard enforces the single-file rules independently: an empty
+        shard is stamped, a populated one must match the configuration
+        (and requires *resume*), and each repairs its own torn tail only
+        after proving it belongs to this sweep.
+        """
+        read, _ = self._stores()
+        for store in read:
+            store.ensure_header(sweep_config, resume)
+
+    def header(self) -> Optional[Dict[str, Any]]:
+        """The common header of all shards (None when none has one).
+
+        Shards that disagree are an error: the merged view would silently
+        mix grids, which is exactly what headers exist to prevent.
+        """
+        read, _ = self._stores()
+        first: Optional[Dict[str, Any]] = None
+        first_path: Optional[Path] = None
+        for store in read:
+            header = store.header()
+            if header is None:
+                continue
+            if first is None:
+                first, first_path = header, store.path
+            elif header != first:
+                raise ConfigurationError(
+                    f"{store.path}: shard header disagrees with "
+                    f"{first_path}; these shards do not belong to one "
+                    "sweep — refusing to merge them"
+                )
+        return first
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Every intact record across all shards (shard-major order)."""
+        read, _ = self._stores()
+        for store in read:
+            yield from store.records()
+
+    def completed_keys(self) -> Set[str]:
+        """Spec hashes recorded on any shard."""
+        return {record["key"] for record in self.records()
+                if record.get("kind") == "result"}
+
+    def result_offsets(self) -> Dict[str, Tuple[int, int]]:
+        """Map spec hash -> opaque ``(shard, byte offset)`` token."""
+        read, _ = self._stores()
+        offsets: Dict[str, Tuple[int, int]] = {}
+        for shard, store in enumerate(read):
+            for key, offset in store.result_offsets().items():
+                offsets[key] = (shard, offset)
+        return offsets
+
+    def result_at(self, token: Tuple[int, int]) -> MISRunResult:
+        """Restore the result a :meth:`result_offsets` token points at."""
+        shard, offset = token
+        read, _ = self._stores()
+        return read[shard].result_at(offset)
+
+    def iter_grid_ordered_results(
+        self,
+    ) -> Iterator[Tuple[int, SweepTask, MISRunResult]]:
+        """Merged ``(index, task, result)`` stream in planned-grid order.
+
+        The merge is deterministic for any shard count: only the (index,
+        shard, offset) directory is sorted in memory, records are parsed
+        lazily in index order.
+        """
+        read, _ = self._stores()
+        entries: List[Tuple[int, int, int]] = []
+        for shard, store in enumerate(read):
+            entries.extend((index, shard, offset)
+                           for index, offset in store.indexed_result_offsets())
+        entries.sort()
+        for index, shard, offset in entries:
+            record = read[shard]._record_at(offset)
+            yield (index, _task_from_json(record["task"]),
+                   MISRunResult.from_record(record["result"]))
+
+    def append(self, index: int, task: SweepTask,
+               result: MISRunResult) -> None:
+        """Persist one result on the shard its grid index routes to."""
+        _, write = self._stores()
+        write[index % len(write)].append(index, task, result)
+
+    def __len__(self) -> int:
+        read, _ = self._stores()
+        return sum(len(store) for store in read)
+
+    def close(self) -> None:
+        """Close every shard's handles (all reopen on demand)."""
+        if self._read_stores is not None:
+            for store in self._read_stores:
+                store.close()
+
+    def __enter__(self) -> "ShardedResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def open_store(path: os.PathLike, shards: Optional[int] = None):
+    """Open the right store type for *path*.
+
+    An explicit *shards* count always selects a :class:`ShardedResultStore`;
+    otherwise the path is sniffed — an existing directory or a base with
+    ``.shard-K`` siblings opens the sharded store transparently (this is
+    what lets ``--resume`` and ``repro-mis report`` take either form), and
+    anything else is a plain single-file :class:`ResultStore`.
+    """
+    base = Path(path)
+    if shards is not None:
+        return ShardedResultStore(base, shards=shards)
+    if base.is_dir() or discover_shards(base):
+        return ShardedResultStore(base)
+    return ResultStore(base)
+
+
 def load_sweep_result(path: os.PathLike):
     """Rebuild a :class:`~repro.experiments.sweeps.SweepResult` from a store.
 
     Records are folded in planned-grid order (their ``index``), which is the
     same order the live sweep aggregated in — so for a completed store the
     rebuilt rows and fits are byte-identical to the ones the sweep printed,
-    without re-running anything.  Returns ``(header, sweep_result)``.
+    without re-running anything.  *path* may be a single-file store, a
+    sharded store's base path/directory, or an already constructed store
+    object.  Returns ``(header, sweep_result)``.
     """
     from repro.experiments.sweeps import SweepResult
 
-    store = path if isinstance(path, ResultStore) else ResultStore(path)
+    if isinstance(path, (ResultStore, ShardedResultStore)):
+        store = path
+    else:
+        store = open_store(path)
     header = store.header()
     if header is None:
         raise ConfigurationError(

@@ -7,9 +7,11 @@ round complexity, MIS size, verification) per grid cell.  The scaling
 experiments E1–E5 and E9 are thin wrappers around these sweeps.
 
 Execution is delegated to :mod:`repro.experiments.executor`: the grid is
-expanded into seed-carrying task specs up front, then streamed either
-in-process (``jobs=1``) or across a process pool (``jobs>1``) with
-bit-identical results either way.  Aggregation is **incremental**: each
+expanded into seed-carrying task specs up front, then streamed through a
+pluggable execution backend (in-process by default for ``jobs=1``, a
+process pool for ``jobs>1``, or any of ``backend=
+"serial"|"thread"|"process"|"async"`` explicitly) with bit-identical
+results on every backend.  Aggregation is **incremental**: each
 :class:`SweepCell` folds results into running :class:`MetricAccumulator`
 counters as they arrive, so a sweep's memory footprint no longer grows with
 the grid size (pass ``keep_runs=True`` — the default for direct callers —
@@ -30,7 +32,8 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.fitting import fit_report
 from repro.errors import ConfigurationError
-from repro.experiments.executor import (ProgressCallback, iter_indexed_results,
+from repro.experiments.executor import (BackendLike, ProgressCallback,
+                                        iter_indexed_results,
                                         plan_sweep_tasks)
 from repro.experiments.harness import MISRunResult
 from repro.rng import SeedLike
@@ -239,6 +242,7 @@ def run_sweep(
     store: Optional["ResultStore"] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    backend: BackendLike = None,
 ) -> SweepResult:
     """Run the full grid and return a :class:`SweepResult`.
 
@@ -246,14 +250,18 @@ def run_sweep(
     arguments for :func:`~repro.experiments.harness.run_mis` (e.g.
     ``{"awake_mis": {"preset": "scaled"}}``).
 
-    *jobs* selects how many worker processes execute the grid: ``1``
-    (default) runs in-process, ``None``/``0`` uses one worker per CPU.
+    *jobs* selects how many workers execute the grid: ``1`` (default) runs
+    in-process, ``None``/``0`` uses one worker per CPU.  *backend* selects
+    the execution backend (``"serial"``, ``"thread"``, ``"process"``,
+    ``"async"`` or a :class:`~repro.experiments.backends.Backend` object);
+    ``None`` keeps the jobs-driven default of in-process vs process pool.
 
     *keep_runs* controls whether cells retain the raw
     :class:`MISRunResult` objects besides their running aggregates; pass
     ``False`` for large grids so memory stays flat.
 
-    *store* (a :class:`~repro.experiments.store.ResultStore`) persists every
+    *store* (a :class:`~repro.experiments.store.ResultStore` or
+    :class:`~repro.experiments.store.ShardedResultStore`) persists every
     result as it completes; with *resume* also true, tasks whose spec hash
     is already recorded are **not** re-executed — their stored compact
     metrics are replayed into the aggregation instead.  *progress* is
@@ -262,8 +270,9 @@ def run_sweep(
     Determinism: every task's seeds are derived up front by
     :func:`~repro.experiments.executor.plan_sweep_tasks`, and arrivals are
     folded back into planned-grid order before aggregation, so the returned
-    cells, rows and fits are byte-identical for every value of *jobs* — and
-    for any interleaving of stored and freshly executed tasks.
+    cells, rows and fits are byte-identical for every value of *jobs*, for
+    every backend, for every shard count — and for any interleaving of
+    stored and freshly executed tasks.
     """
     tasks = plan_sweep_tasks(
         algorithms=algorithms,
@@ -274,11 +283,13 @@ def run_sweep(
         algorithm_params=algorithm_params,
     )
 
-    # index -> byte offset of the stored record, for tasks satisfied from
-    # the store.  Offsets, not restored results: each replayed record is
-    # re-read only when the fold reaches its grid position, so a resumed
-    # sweep's memory stays as flat as a live one.
-    replay_offsets: Dict[int, int] = {}
+    # index -> offset token of the stored record, for tasks satisfied from
+    # the store (a byte offset for a single-file store, a (shard, offset)
+    # pair for a sharded one — opaque here).  Offsets, not restored
+    # results: each replayed record is re-read only when the fold reaches
+    # its grid position, so a resumed sweep's memory stays as flat as a
+    # live one.
+    replay_offsets: Dict[int, Any] = {}
     pending_indices = list(range(len(tasks)))
     if store is not None:
         from repro.experiments.store import task_key
@@ -327,7 +338,8 @@ def run_sweep(
     local_to_global = {local: global_index
                        for local, global_index in enumerate(pending_indices)}
     for local_index, task, run in iter_indexed_results(pending, jobs=jobs,
-                                                       progress=progress):
+                                                       progress=progress,
+                                                       backend=backend):
         global_index = local_to_global[local_index]
         if store is not None:
             store.append(global_index, task, run)

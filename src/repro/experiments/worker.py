@@ -1,0 +1,109 @@
+"""Subprocess worker for :class:`~repro.experiments.backends.AsyncSubprocessBackend`.
+
+Run as ``python -m repro.experiments.worker``.  The protocol is
+length-prefixed JSON over the stdio pipes: each frame is a 4-byte
+big-endian length followed by that many bytes of UTF-8 JSON.
+
+Coordinator → worker::
+
+    {"kind": "task", "index": 7, "task": {...SweepTask.to_json()...}}
+
+Worker → coordinator::
+
+    {"kind": "result", "index": 7, "result": {...MISRunResult.to_record()...}}
+    {"kind": "error",  "index": 7, "error": "<traceback text>"}
+
+EOF on stdin is the shutdown signal.  A task exception is reported as an
+``error`` frame (the worker survives and keeps serving); only an actual
+process death — which the coordinator detects as EOF on *its* end —
+triggers restart-and-requeue.
+
+The framing is deliberately transport-agnostic: the same worker loop works
+over a socket, which is what makes this backend the stepping stone to a
+cluster backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import traceback
+from typing import Any, BinaryIO, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.backends import WORKER_FAULT_DIR_ENV
+from repro.experiments.executor import SweepTask, run_task
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one length-prefixed JSON frame; ``None`` on clean/torn EOF."""
+    header = stream.read(4)
+    if header is None or len(header) < 4:
+        return None
+    (length,) = struct.unpack(">I", header)
+    payload = stream.read(length)
+    if payload is None or len(payload) < length:
+        return None
+    return json.loads(payload.decode("utf-8"))
+
+
+def write_frame(stream: BinaryIO, record: Dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame and flush it."""
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    stream.write(struct.pack(">I", len(payload)) + payload)
+    stream.flush()
+
+
+def maybe_crash(task: SweepTask) -> None:
+    """Test-only fault injection: die mid-task when a marker file says so.
+
+    When :data:`~repro.experiments.backends.WORKER_FAULT_DIR_ENV` names a
+    directory containing ``crash-run_seed-<seed>``, the marker is removed
+    and the process exits hard — *after* accepting the task but *before*
+    producing its result, exactly the window a real crash/kill/OOM hits.
+    Removing the marker first makes the fault one-shot: the retry of the
+    requeued task succeeds, which is what the recovery tests need.
+    """
+    fault_dir = os.environ.get(WORKER_FAULT_DIR_ENV)
+    if not fault_dir:
+        return
+    marker = os.path.join(fault_dir, f"crash-run_seed-{task.run_seed}")
+    if os.path.exists(marker):
+        os.unlink(marker)
+        os._exit(17)
+
+
+def main() -> int:
+    """Serve tasks from stdin until EOF."""
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    while True:
+        frame = read_frame(stdin)
+        if frame is None:
+            return 0
+        task = SweepTask.from_json(frame["task"])
+        maybe_crash(task)
+        try:
+            result = run_task(task)
+        except Exception as error:
+            # ``configuration`` lets the coordinator re-raise a
+            # ConfigurationError as itself (matching what the process
+            # pool's pickled exception would do), so the CLI renders it
+            # as a clean `error:` line on every backend.
+            write_frame(stdout, {
+                "kind": "error",
+                "index": frame["index"],
+                "message": str(error),
+                "configuration": isinstance(error, ConfigurationError),
+                "error": traceback.format_exc(),
+            })
+            continue
+        write_frame(stdout, {"kind": "result", "index": frame["index"],
+                             "result": result.to_record()})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from typing import Optional
 
 import networkx as nx
 
+from repro.errors import UnknownFamilyError
 from repro.rng import SeedLike, make_rng
 
 
@@ -179,7 +180,15 @@ FAMILIES = {
 
 
 def by_name(name: str, n: int, seed: SeedLike = None) -> nx.Graph:
-    """Return the graph family *name* instantiated with *n* nodes."""
+    """Return the graph family *name* instantiated with *n* nodes.
+
+    Raises :class:`repro.errors.UnknownFamilyError` (a
+    :class:`ConfigurationError` that is also a :class:`KeyError`) for an
+    unregistered name, so the CLI renders the message cleanly instead of
+    printing a repr-quoted ``KeyError``.
+    """
     if name not in FAMILIES:
-        raise KeyError(f"unknown graph family '{name}'; known: {sorted(FAMILIES)}")
+        raise UnknownFamilyError(
+            f"unknown graph family '{name}'; known: {sorted(FAMILIES)}"
+        )
     return FAMILIES[name](n, seed=seed)

@@ -1,0 +1,203 @@
+"""Tests for the pluggable execution backends (repro.experiments.backends).
+
+The cross-backend byte-identity matrix lives in ``tests/test_executor.py``
+(it extends the historical jobs=1-vs-jobs=4 test); this file covers the
+backend layer itself: selection rules, the subprocess worker protocol, and
+the async backend's crash-recovery guarantee — kill a worker mid-task and
+the task is requeued, the sweep completes, and the results are
+byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.backends import (
+    BACKENDS,
+    WORKER_FAULT_DIR_ENV,
+    AsyncSubprocessBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
+from repro.experiments.executor import (iter_task_results, plan_sweep_tasks,
+                                        run_task)
+from repro.experiments.sweeps import run_sweep
+from repro.experiments.worker import read_frame, write_frame
+
+GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32],
+            families=("gnp",), repetitions=2, seed=99)
+
+
+class TestResolveBackend:
+    def test_default_is_serial_for_one_worker(self):
+        assert isinstance(resolve_backend(None, jobs=1), SerialBackend)
+
+    def test_default_is_process_pool_for_many_workers(self):
+        backend = resolve_backend(None, jobs=4)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 4
+
+    def test_tiny_grids_stay_in_process(self):
+        # A pool for <= 1 task is pure overhead.
+        assert isinstance(resolve_backend(None, jobs=4, total=1),
+                          SerialBackend)
+        assert isinstance(resolve_backend(None, jobs=4, total=0),
+                          SerialBackend)
+
+    def test_names_resolve_to_their_classes(self):
+        for name, cls in BACKENDS.items():
+            assert isinstance(resolve_backend(name, jobs=2), cls)
+
+    def test_backend_objects_pass_through(self):
+        backend = ThreadBackend(jobs=2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_backend("cluster")
+        message = str(excinfo.value)
+        assert "unknown backend 'cluster'" in message
+        for name in available_backends():
+            assert name in message
+
+    def test_available_backends_is_sorted(self):
+        assert available_backends() == sorted(BACKENDS)
+
+
+class TestBackendStreams:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_empty_task_list_yields_nothing(self, name):
+        backend = BACKENDS[name](jobs=2)
+        assert list(backend.submit_tasks([])) == []
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_indices_address_the_submitted_list(self, name):
+        tasks = plan_sweep_tasks(**GRID)
+        backend = BACKENDS[name](jobs=2)
+        reference = {index: run_task(task)
+                     for index, task in enumerate(tasks)}
+        for index, result in backend.submit_tasks(tasks):
+            assert result.mis == reference[index].mis
+            assert result.seed == reference[index].seed
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_abandoning_the_stream_shuts_down_cleanly(self, name):
+        tasks = plan_sweep_tasks(**GRID)
+        stream = iter_task_results(tasks, jobs=2, backend=name)
+        next(stream)
+        stream.close()  # must not hang on queued work or live workers
+
+
+class TestWorkerProtocol:
+    def test_frame_round_trip(self):
+        buffer = io.BytesIO()
+        record = {"kind": "task", "index": 3, "task": {"n": 16}}
+        write_frame(buffer, record)
+        buffer.seek(0)
+        assert read_frame(buffer) == record
+
+    def test_frames_are_length_prefixed(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"kind": "task"})
+        raw = buffer.getvalue()
+        (length,) = struct.unpack(">I", raw[:4])
+        assert length == len(raw) - 4
+        assert json.loads(raw[4:].decode("utf-8")) == {"kind": "task"}
+
+    def test_truncated_frame_reads_as_eof(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"kind": "task", "index": 1})
+        torn = io.BytesIO(buffer.getvalue()[:-3])
+        assert read_frame(torn) is None
+        assert read_frame(io.BytesIO(b"\x00\x00")) is None
+        assert read_frame(io.BytesIO(b"")) is None
+
+
+class TestAsyncCrashRecovery:
+    def _arm_crash(self, tmp_path, monkeypatch, task):
+        marker = tmp_path / f"crash-run_seed-{task.run_seed}"
+        marker.write_text("")
+        monkeypatch.setenv(WORKER_FAULT_DIR_ENV, str(tmp_path))
+        return marker
+
+    def test_killed_worker_is_replaced_and_task_requeued(
+            self, tmp_path, monkeypatch):
+        """The satellite guarantee: a worker killed mid-task costs nothing.
+
+        The fault marker makes one worker die after accepting a task but
+        before producing its result — exactly a kill/OOM window.  The
+        backend must replace the worker, requeue the task, and still end
+        with results byte-identical to the serial run.
+        """
+        serial = run_sweep(**GRID)
+        victim = plan_sweep_tasks(**GRID)[3]
+        marker = self._arm_crash(tmp_path, monkeypatch, victim)
+
+        backend = AsyncSubprocessBackend(jobs=2)
+        recovered = run_sweep(**GRID, backend=backend)
+
+        assert not marker.exists()  # the fault actually fired
+        assert backend.worker_restarts >= 1
+        assert repr(recovered.rows()) == repr(serial.rows())
+        assert recovered.fits("awake_max") == serial.fits("awake_max")
+
+    def test_every_task_executes_exactly_once_despite_the_crash(
+            self, tmp_path, monkeypatch):
+        tasks = plan_sweep_tasks(**GRID)
+        self._arm_crash(tmp_path, monkeypatch, tasks[0])
+        backend = AsyncSubprocessBackend(jobs=2)
+        pairs = list(iter_task_results(tasks, jobs=2, backend=backend))
+        assert sorted(t.run_seed for t, _ in pairs) == sorted(
+            t.run_seed for t in tasks)
+
+    def test_crash_looping_task_raises_instead_of_spinning(
+            self, tmp_path, monkeypatch):
+        # With a one-attempt budget the single injected crash exhausts it:
+        # the backend must surface a WorkerCrashError, not retry forever.
+        self._arm_crash(tmp_path, monkeypatch, plan_sweep_tasks(**GRID)[0])
+        backend = AsyncSubprocessBackend(jobs=2, max_attempts=1)
+        with pytest.raises(WorkerCrashError, match="crashed its worker"):
+            run_sweep(**GRID, backend=backend)
+
+    def test_configuration_error_in_worker_re_raises_as_itself(self):
+        # A configuration mistake inside a worker must come back as a
+        # ConfigurationError (clean CLI rendering on every backend), not
+        # wrapped in WorkerCrashError — matching the serial backend.
+        from repro.experiments.executor import SweepTask
+
+        good = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                repetitions=1, seed=7)
+        bad = SweepTask(algorithm="luby", family="not-a-family", n=16,
+                        graph_seed=1, run_seed=2)
+        backend = AsyncSubprocessBackend(jobs=1)
+        with pytest.raises(ConfigurationError,
+                           match="unknown graph family 'not-a-family'"):
+            list(backend.submit_tasks(good + [bad]))
+
+    def test_task_exception_propagates_without_killing_the_sweep_worker(
+            self):
+        # A non-configuration task exception (here: a CONGEST budget of 0
+        # bits) is an error frame, not a crash: the worker survives and
+        # the coordinator re-raises with the worker traceback.
+        from repro.experiments.executor import SweepTask
+
+        bad = SweepTask(algorithm="luby", family="gnp", n=16,
+                        graph_seed=1, run_seed=2,
+                        params=(("message_bit_limit", 0),))
+        backend = AsyncSubprocessBackend(jobs=1)
+        with pytest.raises(WorkerCrashError, match="failed in worker"):
+            list(backend.submit_tasks([bad]))
+
+    def test_restart_counter_starts_at_zero(self):
+        backend = AsyncSubprocessBackend(jobs=2)
+        run_sweep(algorithms=["luby"], sizes=[16], repetitions=1, seed=1,
+                  backend=backend)
+        assert backend.worker_restarts == 0

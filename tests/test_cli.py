@@ -12,6 +12,7 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "awake_mis" in out and "E8" in out
+        assert "backends" in out and "async" in out
 
     def test_figure(self, capsys):
         assert main(["figure"]) == 0
@@ -65,6 +66,67 @@ class TestCLI:
             main(["sweep", "--algorithms", "luby", "--sizes", "16",
                   "--jobs", "-2"])
         assert "--jobs must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                  "--backend", "cluster"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process",
+                                         "async"])
+    def test_sweep_backend_output_matches_default(self, backend, capsys):
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--backend", backend, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == default_out
+
+
+class TestCLIFamilyErrors:
+    """The `by_name` KeyError drift fix: the CLI must render a clean
+    `error: unknown graph family ...` line — no repr quoting, with the
+    known families listed — instead of a traceback or a mangled KeyError.
+    """
+
+    def test_run_unknown_family_renders_cleanly(self, capsys):
+        assert main(["run", "--family", "bogus", "--n", "16"]) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown graph family 'bogus'" in err
+        assert "known:" in err and "gnp" in err
+        assert '"unknown graph family' not in err  # no KeyError repr-quoting
+
+    def test_sweep_unknown_family_renders_cleanly(self, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--families", "nope", "--repetitions", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown graph family 'nope'" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("extra", [["--jobs", "2"],
+                                       ["--backend", "async"]])
+    def test_sweep_unknown_family_renders_cleanly_on_every_backend(
+            self, extra, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                     "--families", "nope", "--repetitions", "1"]
+                    + extra) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown graph family 'nope'" in err
+
+    def test_unknown_family_fails_before_touching_the_store(self, tmp_path,
+                                                            capsys):
+        # A typo'd grid must error before the store header is stamped —
+        # otherwise the --output file is poisoned for the corrected rerun.
+        path = tmp_path / "out.jsonl"
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--families", "nope", "--repetitions", "1",
+                     "--output", str(path)]) == 2
+        assert "unknown graph family" in capsys.readouterr().err
+        assert not path.exists()
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--families", "gnp", "--repetitions", "1",
+                     "--output", str(path)]) == 0
 
 
 class TestCLIStore:
@@ -144,6 +206,57 @@ class TestCLIStore:
         for column in ("n", "runs"):
             assert main(["report", path, "--metric", column]) == 2
             assert f"unknown metric '{column}'" in capsys.readouterr().err
+
+    def test_sharded_output_resume_report_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP) == 0
+        plain_out = capsys.readouterr().out
+
+        assert main(self.SWEEP + ["--output", path, "--shards", "2"]) == 0
+        assert capsys.readouterr().out == plain_out
+        assert (tmp_path / "out.jsonl.shard-0").exists()
+        assert (tmp_path / "out.jsonl.shard-1").exists()
+        assert not (tmp_path / "out.jsonl").exists()
+
+        # --resume sniffs the sharded layout without repeating --shards.
+        assert main(self.SWEEP + ["--output", path, "--resume"]) == 0
+        assert capsys.readouterr().out == plain_out
+
+        # report merges the shards from the base path.
+        assert main(["report", path]) == 0
+        report_out = capsys.readouterr().out
+        for line in plain_out.splitlines():
+            if "luby" in line:
+                assert line in report_out
+
+    def test_shards_require_output(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--shards", "2"])
+        assert "--shards requires --output" in capsys.readouterr().err
+
+    def test_invalid_shard_count_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--output", str(tmp_path / "o.jsonl"),
+                               "--shards", "0"])
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_report_csv_stdout_and_file(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        assert main(self.SWEEP + ["--output", path]) == 0
+        capsys.readouterr()
+
+        assert main(["report", path, "--csv", "-"]) == 0
+        out = capsys.readouterr().out
+        header = ("algorithm,family,n,runs,verified,awake_mean,awake_max,"
+                  "avg_awake_mean,rounds_mean,mis_size_mean")
+        assert header in out
+        assert "luby,gnp,16," in out
+
+        csv_path = tmp_path / "rows.csv"
+        assert main(["report", path, "--csv", str(csv_path)]) == 0
+        content = csv_path.read_text(encoding="utf-8")
+        assert content.startswith(header)
+        assert "luby,gnp,24," in content
 
     def test_experiment_output_resume(self, tmp_path, capsys):
         path = str(tmp_path / "e1.jsonl")

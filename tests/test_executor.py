@@ -53,6 +53,18 @@ class TestPlanning:
         run_seeds = [t.run_seed for t in tasks]
         assert len(set(run_seeds)) == len(run_seeds)
 
+    def test_unknown_family_rejected_at_planning_time(self):
+        from repro.errors import UnknownFamilyError
+
+        with pytest.raises(UnknownFamilyError, match="unknown graph family"):
+            plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                             families=("nope",), repetitions=1, seed=1)
+
+    def test_unknown_algorithm_rejected_at_planning_time(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            plan_sweep_tasks(algorithms=["bogus"], sizes=[16],
+                             repetitions=1, seed=1)
+
     def test_algorithm_params_are_attached_sorted(self):
         tasks = plan_sweep_tasks(
             algorithms=["awake_mis"], sizes=[16], repetitions=1, seed=1,
@@ -188,6 +200,12 @@ class TestGraphCacheLifecycle:
         assert _build_graph.cache_info().currsize == 0
 
 
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """The reference sweep every backend/jobs combination must reproduce."""
+    return run_sweep(**GRID, jobs=1)
+
+
 class TestSerialParallelEquivalence:
     def test_execute_tasks_preserves_task_order(self):
         tasks = plan_sweep_tasks(**GRID)
@@ -196,12 +214,29 @@ class TestSerialParallelEquivalence:
         assert [r.mis for r in serial] == [r.mis for r in parallel]
         assert [r.seed for r in serial] == [r.seed for r in parallel]
 
-    def test_sweep_rows_byte_identical_across_jobs(self):
-        serial = run_sweep(**GRID, jobs=1)
-        parallel = run_sweep(**GRID, jobs=4)
-        assert repr(serial.rows()) == repr(parallel.rows())
-        assert serial.fits("awake_max") == parallel.fits("awake_max")
-        assert serial.all_verified and parallel.all_verified
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize(
+        "backend", [None, "serial", "thread", "process", "async"])
+    def test_sweep_rows_byte_identical_across_backends_and_jobs(
+            self, backend, jobs, serial_baseline):
+        """The cross-backend equivalence matrix.
+
+        Every backend × jobs combination must reproduce the serial rows,
+        fits and their repr byte-for-byte — the grid's seeds are fixed at
+        planning time, so execution placement can never leak into results.
+        """
+        sweep = run_sweep(**GRID, jobs=jobs, backend=backend)
+        assert repr(sweep.rows()) == repr(serial_baseline.rows())
+        assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
+        assert sweep.all_verified and serial_baseline.all_verified
+
+    @pytest.mark.parametrize(
+        "backend", ["serial", "thread", "process", "async"])
+    def test_stream_covers_every_task_on_every_backend(self, backend):
+        tasks = plan_sweep_tasks(**GRID)
+        pairs = list(iter_task_results(tasks, jobs=2, backend=backend))
+        assert sorted(t.run_seed for t, _ in pairs) == sorted(
+            t.run_seed for t in tasks)
 
     def test_sweep_with_algorithm_params_matches_across_jobs(self):
         grid = dict(algorithms=["luby"], sizes=[16], repetitions=2, seed=5,

@@ -18,8 +18,23 @@ class TestGenerators:
         assert not list(nx.selfloop_edges(graph))
 
     def test_unknown_family_rejected(self):
+        # UnknownFamilyError is still a KeyError, so historical callers
+        # catching the mapping miss keep working.
         with pytest.raises(KeyError):
             generators.by_name("nope", 10)
+
+    def test_unknown_family_error_type_and_rendering(self):
+        from repro.errors import ConfigurationError, UnknownFamilyError
+
+        with pytest.raises(UnknownFamilyError) as excinfo:
+            generators.by_name("nope", 10)
+        error = excinfo.value
+        assert isinstance(error, ConfigurationError)  # CLI renders these
+        # str() must be the plain message, not KeyError's repr-quoted form.
+        message = str(error)
+        assert message.startswith("unknown graph family 'nope'")
+        assert "known:" in message and "gnp" in message
+        assert not message.startswith('"')
 
     def test_gnp_requires_exactly_one_density_parameter(self):
         with pytest.raises(ValueError):

@@ -9,14 +9,18 @@ recorded tasks verifiably never re-executed.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.experiments.executor import plan_sweep_tasks
 from repro.experiments.harness import MISRunResult, run_mis
 from repro.experiments.store import (CODE_SCHEMA_VERSION, ResultStore,
-                                     load_sweep_result, task_key)
+                                     ShardedResultStore, discover_shards,
+                                     load_sweep_result, open_store, task_key)
 from repro.experiments.sweeps import MetricAccumulator, run_sweep
 from repro.graphs.generators import by_name
 
@@ -256,6 +260,273 @@ class TestReport:
     def test_missing_store_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError, match="results store"):
             load_sweep_result(tmp_path / "nope.jsonl")
+
+
+class TestShardedStore:
+    def _full_sharded(self, tmp_path, shards=3, jobs=1):
+        base = tmp_path / "out.jsonl"
+        store = ShardedResultStore(base, shards=shards)
+        sweep = run_sweep(**GRID, jobs=jobs, keep_runs=False, store=store)
+        store.close()
+        return base, sweep
+
+    def test_writes_one_shard_file_per_lane(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path, shards=3)
+        paths = discover_shards(base)
+        assert [p.name for p in paths] == ["out.jsonl.shard-0",
+                                           "out.jsonl.shard-1",
+                                           "out.jsonl.shard-2"]
+        # Routing is by grid index, so every shard holds its share and the
+        # merged store holds exactly the grid.
+        assert all(len(ResultStore(p)) > 0 for p in paths)
+        assert len(ShardedResultStore(base)) == GRID_TASKS
+
+    def test_each_shard_is_a_full_store_with_header(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path)
+        headers = [ResultStore(p).header() for p in discover_shards(base)]
+        assert all(h is not None for h in headers)
+        assert all(h == headers[0] for h in headers)
+        assert headers[0]["schema"] == CODE_SCHEMA_VERSION
+
+    def test_rows_match_single_file_store_byte_for_byte(self, tmp_path):
+        plain = run_sweep(**GRID, keep_runs=False,
+                          store=ResultStore(tmp_path / "plain.jsonl"))
+        _, sharded = self._full_sharded(tmp_path, shards=3)
+        assert repr(sharded.rows()) == repr(plain.rows())
+        assert sharded.fits("awake_max") == plain.fits("awake_max")
+
+    def test_directory_layout(self, tmp_path):
+        directory = tmp_path / "results"
+        directory.mkdir()
+        store = ShardedResultStore(directory, shards=2)
+        sweep = run_sweep(**GRID, keep_runs=False, store=store)
+        store.close()
+        assert sorted(p.name for p in directory.iterdir()) == [
+            "shard-0.jsonl", "shard-1.jsonl"]
+        header, rebuilt = load_sweep_result(directory)
+        assert repr(rebuilt.rows()) == repr(sweep.rows())
+
+    def test_load_sweep_result_merges_shards(self, tmp_path):
+        base, sweep = self._full_sharded(tmp_path, shards=3, jobs=4)
+        header, rebuilt = load_sweep_result(base)
+        assert header["sweep"]["sizes"] == [16, 32]
+        assert repr(rebuilt.rows()) == repr(sweep.rows())
+
+    def test_open_store_sniffs_the_layout(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path)
+        assert isinstance(open_store(base), ShardedResultStore)
+        assert isinstance(open_store(tmp_path / "fresh.jsonl"), ResultStore)
+        assert isinstance(open_store(tmp_path / "fresh.jsonl", shards=2),
+                          ShardedResultStore)
+        directory = tmp_path / "somedir"
+        directory.mkdir()
+        assert isinstance(open_store(directory), ShardedResultStore)
+
+    def test_fresh_run_refuses_existing_sharded_store(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path)
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_sweep(**GRID, keep_runs=False,
+                      store=ShardedResultStore(base, shards=3))
+
+    def test_resume_refuses_a_different_grid(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path)
+        other = dict(GRID, seed=100)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep(**other, keep_runs=False,
+                      store=ShardedResultStore(base, shards=3), resume=True)
+
+    def test_disagreeing_shard_headers_refuse_to_merge(self, tmp_path):
+        base, _ = self._full_sharded(tmp_path, shards=2)
+        rogue = tmp_path / "out.jsonl.shard-2"
+        rogue.write_text(json.dumps({"kind": "header",
+                                     "schema": CODE_SCHEMA_VERSION,
+                                     "sweep": {"algorithms": ["other"]}})
+                         + "\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            load_sweep_result(base)
+
+    def test_invalid_shard_counts_rejected(self, tmp_path):
+        for bad in (0, -1, True, 2.0):
+            with pytest.raises(ConfigurationError, match="shard count"):
+                ShardedResultStore(tmp_path / "x.jsonl", shards=bad)
+
+    def test_missing_shards_without_count_is_an_error(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "none.jsonl")
+        with pytest.raises(ConfigurationError, match="no shard files"):
+            store.ensure_header({}, resume=False)
+
+    def test_sharding_refuses_an_existing_single_file_store(self, tmp_path):
+        # `--resume --shards N` on a store written unsharded must not
+        # silently ignore its records and re-run the grid.
+        path = tmp_path / "out.jsonl"
+        run_sweep(**GRID, keep_runs=False, store=ResultStore(path))
+        with pytest.raises(ConfigurationError, match="unsharded"):
+            run_sweep(**GRID, keep_runs=False,
+                      store=ShardedResultStore(path, shards=2), resume=True)
+        # The single-file store is untouched and still resumable.
+        executed = []
+        run_sweep(**GRID, keep_runs=False, store=ResultStore(path),
+                  resume=True,
+                  progress=lambda task, *rest: executed.append(task))
+        assert executed == []
+
+    @pytest.mark.parametrize("resume_shards", [1, 2, 5])
+    def test_resume_across_a_different_shard_count(self, tmp_path,
+                                                   resume_shards):
+        """The acceptance-criteria invariant: interrupt a sharded sweep,
+        resume it under a *different* shard count (and backend), and the
+        rows/fits must come out byte-identical to the uninterrupted run —
+        with the recorded tasks verifiably never re-executed."""
+        baseline = run_sweep(**GRID)
+        base, _ = self._full_sharded(tmp_path, shards=3)
+
+        # Simulate a kill: tear the tail record of shard 0 and drop the
+        # final record of shard 1 entirely.
+        shard0, shard1, _shard2 = discover_shards(base)
+        lines = _store_lines(shard0)
+        shard0.write_text("".join(lines[:-1]) + lines[-1][:len(lines[-1]) // 2],
+                          encoding="utf-8")
+        lines = _store_lines(shard1)
+        shard1.write_text("".join(lines[:-1]), encoding="utf-8")
+        surviving = {json.loads(line)["key"]
+                     for path in discover_shards(base)
+                     for line in _store_lines(path)
+                     if line.endswith("\n")
+                     and json.loads(line)["kind"] == "result"}
+
+        executed = []
+        with pytest.warns(UserWarning):
+            resumed = run_sweep(
+                **GRID, jobs=2, backend="thread", keep_runs=False,
+                store=ShardedResultStore(base, shards=resume_shards),
+                resume=True,
+                progress=lambda task, *rest: executed.append(task))
+        assert len(executed) == GRID_TASKS - len(surviving)
+        assert all(task_key(t) not in surviving for t in executed)
+        assert repr(resumed.rows()) == repr(baseline.rows())
+        assert resumed.fits("awake_max") == baseline.fits("awake_max")
+
+        # The store is complete again and reports byte-identically, under
+        # whichever shard count reads it next.
+        _, rebuilt = load_sweep_result(base)
+        assert repr(rebuilt.rows()) == repr(baseline.rows())
+
+
+# ------------------------------------------------------------------------- #
+# Kill-point fuzzing: every byte offset a crash could truncate the store at
+# must land in {clean resume, torn-line repair, hard corruption error} —
+# never silent data loss.
+# ------------------------------------------------------------------------- #
+FUZZ_GRID = dict(algorithms=["luby"], sizes=[16], families=("gnp",),
+                 repetitions=2, seed=5)
+FUZZ_TASKS = 2
+
+
+@pytest.fixture(scope="module")
+def fuzz_reference(tmp_path_factory):
+    """One completed tiny sweep: its store bytes and expected rows."""
+    tmp = tmp_path_factory.mktemp("fuzz-ref")
+    path = tmp / "ref.jsonl"
+    sweep = run_sweep(**FUZZ_GRID, keep_runs=False, store=ResultStore(path))
+    sharded_base = tmp / "sharded.jsonl"
+    store = ShardedResultStore(sharded_base, shards=2)
+    run_sweep(**FUZZ_GRID, keep_runs=False, store=store)
+    store.close()
+    return {
+        "rows": repr(sweep.rows()),
+        "bytes": path.read_bytes(),
+        "shard_bytes": [p.read_bytes() for p in discover_shards(sharded_base)],
+        "all_keys": {task_key(t) for t in plan_sweep_tasks(**FUZZ_GRID)},
+    }
+
+
+def _intact_result_keys(blob: bytes):
+    """Keys of result records a reader must still honour after truncation:
+    complete lines only (the torn tail, if any, is legitimately re-run)."""
+    keys = set()
+    for line in blob.split(b"\n")[:-1]:  # a line without \n is torn
+        record = json.loads(line)
+        if record.get("kind") == "result":
+            keys.add(record["key"])
+    return keys
+
+
+def _resume_and_check(store, reference, expected_intact):
+    """Resume from a damaged store; assert no re-execution of intact
+    records, no silent loss, and byte-identical rows."""
+    executed = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # torn-tail repairs are expected
+        resumed = run_sweep(**FUZZ_GRID, keep_runs=False, store=store,
+                            resume=True,
+                            progress=lambda task, *rest: executed.append(task))
+    executed_keys = {task_key(t) for t in executed}
+    # Exactly the non-surviving tasks re-ran: nothing recorded was lost
+    # (silent loss) and nothing recorded was recomputed (wasted work).
+    assert executed_keys == reference["all_keys"] - expected_intact
+    assert repr(resumed.rows()) == reference["rows"]
+
+
+class TestKillPointFuzz:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_truncation_at_any_offset_resumes_byte_identically(
+            self, data, fuzz_reference, tmp_path):
+        """A kill can truncate the file at *any* byte offset.  Whatever
+        survives must resume to byte-identical rows, with every complete
+        record honoured and only the rest re-executed — including the
+        degenerate cuts (empty file, torn header)."""
+        blob = fuzz_reference["bytes"]
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        path = tmp_path / f"cut-{cut}.jsonl"
+        path.write_bytes(blob[:cut])
+        _resume_and_check(ResultStore(path), fuzz_reference,
+                          _intact_result_keys(blob[:cut]))
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_truncating_any_shard_at_any_offset_resumes_byte_identically(
+            self, data, fuzz_reference, tmp_path):
+        """The same kill-point property holds per shard of a sharded
+        store: the damaged shard self-repairs, the healthy shards keep
+        their records, and the merged resume is byte-identical."""
+        shard_blobs = list(fuzz_reference["shard_bytes"])
+        shard = data.draw(st.integers(0, len(shard_blobs) - 1))
+        cut = data.draw(st.integers(0, len(shard_blobs[shard])))
+        damaged = shard_blobs[shard][:cut]
+        base = tmp_path / f"s{shard}-c{cut}.jsonl"
+        for index, blob in enumerate(shard_blobs):
+            (tmp_path / f"{base.name}.shard-{index}").write_bytes(
+                damaged if index == shard else blob)
+        intact = set()
+        for index, blob in enumerate(shard_blobs):
+            intact |= _intact_result_keys(damaged if index == shard else blob)
+        _resume_and_check(ShardedResultStore(base, shards=len(shard_blobs)),
+                          fuzz_reference, intact)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=st.data())
+    def test_mid_file_garbage_is_a_hard_error_never_silent_loss(
+            self, data, fuzz_reference, tmp_path):
+        """Damage that is *not* an interrupted append (garbage on a line
+        with intact records after it) must be a hard error — resuming
+        over it could silently drop the buried records."""
+        blob = fuzz_reference["bytes"]
+        lines = blob.split(b"\n")[:-1]
+        victim = data.draw(st.integers(0, len(lines) - 2))
+        junk = data.draw(st.sampled_from([b"garbage", b"{\"kind\":", b"\x00\xff"]))
+        damaged = lines[:victim] + [junk] + lines[victim + 1:]
+        path = tmp_path / "damaged.jsonl"
+        path.write_bytes(b"\n".join(damaged) + b"\n")
+        before = path.read_bytes()
+        with pytest.raises(ConfigurationError):
+            run_sweep(**FUZZ_GRID, keep_runs=False, store=ResultStore(path),
+                      resume=True)
+        # A refused store is never modified.
+        assert path.read_bytes() == before
 
 
 class TestKeepRuns:
