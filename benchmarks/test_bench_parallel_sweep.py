@@ -85,37 +85,60 @@ def test_bench_parallel_sweep_equivalence_and_speedup(benchmark, repro_scale,
 
 
 def test_bench_backend_matrix(repro_scale, bench_record):
-    """Time one sweep per execution backend and record tasks/sec for each.
+    """Time every scheduler × transport combination; record tasks/sec.
 
-    Byte-identity across backends is asserted here too (a benchmark that
-    silently computed different numbers would be meaningless); the timing
-    spread — serial vs GIL-bound threads vs pool vs framed-JSON
-    subprocesses — is what the perf trajectory tracks per backend.
+    Byte-identity across combinations is asserted here too (a benchmark
+    that silently computed different numbers would be meaningless); the
+    timing spread — serial vs GIL-bound threads vs pool vs framed-JSON
+    subprocesses vs TCP workers, and fifo vs large-first dispatch — is
+    what the perf trajectory tracks.  The large-first rows are where the
+    straggler-tail win on skewed (ascending-n) grids shows up; the
+    ``socket`` rows run against two freshly served local workers.
     """
-    from repro.experiments.backends import available_backends
+    from repro.experiments.backends import (ComposedBackend, SocketTransport,
+                                            available_schedulers,
+                                            available_transports)
+    from repro.experiments.worker import spawn_local_worker
 
     grid = GRID_BY_SCALE[repro_scale]
     jobs = min(4, os.cpu_count() or 1)
     task_count = len(plan_sweep_tasks(**grid))
+    workers = [spawn_local_worker() for _ in range(2)]
+    addresses = ",".join(address for _, address in workers)
 
-    reference = None
-    rows, numbers = [], {}
-    for backend in available_backends():
-        started = time.perf_counter()
-        sweep = run_sweep(**grid, jobs=jobs, backend=backend)
-        seconds = time.perf_counter() - started
-        if reference is None:
-            reference = sweep
-        assert repr(sweep.rows()) == repr(reference.rows())
-        rate = task_count / max(seconds, 1e-9)
-        rows.append({"backend": backend, "jobs": jobs,
-                     "seconds": round(seconds, 3),
-                     "tasks_per_s": round(rate, 2)})
-        numbers[f"{backend}_seconds"] = round(seconds, 4)
-        numbers[f"{backend}_tasks_per_second"] = round(rate, 3)
+    try:
+        reference = None
+        rows, numbers = [], {}
+        for transport in available_transports():
+            for scheduler in available_schedulers():
+                if transport == "socket":
+                    backend = ComposedBackend(
+                        scheduler=scheduler,
+                        transport=SocketTransport(addresses), jobs=jobs)
+                else:
+                    backend = ComposedBackend(scheduler=scheduler,
+                                              transport=transport, jobs=jobs)
+                started = time.perf_counter()
+                sweep = run_sweep(**grid, jobs=jobs, backend=backend)
+                seconds = time.perf_counter() - started
+                if reference is None:
+                    reference = sweep
+                assert repr(sweep.rows()) == repr(reference.rows())
+                rate = task_count / max(seconds, 1e-9)
+                label = f"{scheduler}+{transport}"
+                rows.append({"scheduler": scheduler, "transport": transport,
+                             "jobs": jobs, "seconds": round(seconds, 3),
+                             "tasks_per_s": round(rate, 2)})
+                numbers[f"{label}_seconds"] = round(seconds, 4)
+                numbers[f"{label}_tasks_per_second"] = round(rate, 3)
+    finally:
+        for proc, _ in workers:
+            proc.kill()
+            proc.wait()
 
     print()
-    print(format_table(rows, title=f"backend matrix ({task_count} tasks, "
-                                   f"jobs={jobs})"))
+    print(format_table(rows, title=f"scheduler x transport matrix "
+                                   f"({task_count} tasks, jobs={jobs}, "
+                                   "socket = 2 local workers)"))
     bench_record("backend_matrix", scale=repro_scale, tasks=task_count,
                  jobs=jobs, cpu_count=os.cpu_count(), **numbers)

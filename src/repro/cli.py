@@ -27,8 +27,16 @@ Sub-commands
     exports the rows for notebook-side analysis.
 ``figure``
     Print the paper's Figure 1/2 worked example.
+``worker serve``
+    Serve sweep tasks over TCP (``--listen HOST:PORT``) for the socket
+    transport: run one per core on any host, point a sweep at them with
+    ``--workers host:port,...``.
+``store merge``
+    Compact one or more stores of the same sweep (sharded or not) into a
+    single fresh store file.
 ``list``
-    List available algorithms, graph families, backends and experiments.
+    List available algorithms, graph families, schedulers, transports,
+    backends and experiments.
 """
 
 from __future__ import annotations
@@ -39,10 +47,13 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
-from repro.experiments.backends import available_backends
+from repro.experiments.backends import (available_backends,
+                                        available_schedulers,
+                                        available_transports, make_backend)
 from repro.experiments.harness import available_algorithms, run_mis
 from repro.experiments.registry import available_experiments, run_experiment
-from repro.experiments.store import load_sweep_result, open_store
+from repro.experiments.store import (load_sweep_result, merge_stores,
+                                     open_store)
 from repro.experiments.sweeps import run_sweep
 from repro.experiments.tables import format_table, render_sweep
 from repro.graphs.generators import FAMILIES, by_name
@@ -59,15 +70,55 @@ _STORE_EPILOG = (
     "(FILE.shard-0 ... FILE.shard-N-1, or shard-K.jsonl inside FILE when "
     "it is a directory) with the same per-shard durability; reads merge "
     "every shard, so --resume and 'repro-mis report' accept the base path "
-    "under any shard count.  Backends: --backend serial|thread|process|"
-    "async picks where tasks execute — results are byte-identical on "
-    "every backend; 'async' restarts crashed workers and requeues their "
-    "tasks.  Inspect a store later with 'repro-mis report FILE'."
+    "under any shard count; compact shards later with 'repro-mis store "
+    "merge'.  "
+    "Execution: --backend serial|thread|process|async|socket picks a "
+    "(scheduler x transport) composition; --scheduler fifo|large-first "
+    "overrides the dispatch order (large-first sends big-n tasks out "
+    "first to cut the straggler tail) and --transport picks the byte "
+    "path explicitly.  Results are byte-identical for every combination; "
+    "the crash-recovering transports (async/subprocess, socket) restart "
+    "or fail over dead workers and requeue their tasks.  "
+    "Running a multi-host sweep: on each worker host run "
+    "'repro-mis worker serve --listen 0.0.0.0:8750' (one process per "
+    "core you want to donate, one port each), then on the coordinator "
+    "run 'repro-mis sweep ... --backend socket --workers "
+    "hostA:8750,hostA:8751,hostB:8750'.  Each worker is one execution "
+    "slot; the handshake refuses workers running incompatible code "
+    "(CODE_SCHEMA_VERSION), and a worker lost mid-task fails over to "
+    "the remaining workers with byte-identical results.  Add --output/"
+    "--resume so a coordinator crash resumes instead of re-running.  "
+    "Inspect a store later with 'repro-mis report FILE'."
 )
 
 _BACKEND_HELP = ("execution backend for the grid (default: serial when "
                  "--jobs 1, process pool otherwise; async = crash-"
-                 "recovering worker subprocesses)")
+                 "recovering worker subprocesses, socket = TCP workers "
+                 "via --workers)")
+_SCHEDULER_HELP = ("task dispatch order: fifo (planned order, default) or "
+                   "large-first (descending n, cuts the straggler tail on "
+                   "skewed grids); never changes results, only wall-clock")
+_TRANSPORT_HELP = ("execution transport (overrides the --backend alias): "
+                   "inline|thread|process|subprocess|socket")
+_WORKERS_HELP = ("socket workers to dial, as HOST:PORT[,HOST:PORT...] "
+                 "(serve them with 'repro-mis worker serve'); implies "
+                 "--transport socket")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser,
+                             jobs_help: str) -> None:
+    """The shared --jobs/--backend/--scheduler/--transport/--workers flags."""
+    parser.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    parser.add_argument("--backend", default=None,
+                        choices=available_backends(), help=_BACKEND_HELP)
+    parser.add_argument("--scheduler", default=None,
+                        choices=available_schedulers(),
+                        help=_SCHEDULER_HELP)
+    parser.add_argument("--transport", default=None,
+                        choices=available_transports(),
+                        help=_TRANSPORT_HELP)
+    parser.add_argument("--workers", metavar="HOST:PORT,...", default=None,
+                        help=_WORKERS_HELP)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,12 +148,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="graph families (see 'repro-mis list')")
     sweep_parser.add_argument("--repetitions", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=1)
-    sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="workers for the grid "
-                                   "(1 = in-process, 0 = one per CPU)")
-    sweep_parser.add_argument("--backend", default=None,
-                              choices=available_backends(),
-                              help=_BACKEND_HELP)
+    _add_execution_arguments(sweep_parser,
+                             jobs_help="workers for the grid "
+                                       "(1 = in-process, 0 = one per CPU)")
     sweep_parser.add_argument("--output", metavar="FILE", default=None,
                               help="JSONL results store: persist every task "
                                    "result as it completes")
@@ -123,13 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--scale", default="default",
                                    choices=["smoke", "default", "full"])
     experiment_parser.add_argument("--seed", type=int, default=None)
-    experiment_parser.add_argument("--jobs", type=int, default=1,
-                                   help="workers for the sweep-backed "
-                                        "experiments E1-E5 and E9 (1 = "
-                                        "in-process, 0 = one per CPU)")
-    experiment_parser.add_argument("--backend", default=None,
-                                   choices=available_backends(),
-                                   help=_BACKEND_HELP)
+    _add_execution_arguments(experiment_parser,
+                             jobs_help="workers for the sweep-backed "
+                                       "experiments E1-E5 and E9 (1 = "
+                                       "in-process, 0 = one per CPU)")
     experiment_parser.add_argument("--output", metavar="FILE", default=None,
                                    help="JSONL results store for the "
                                         "sweep-backed experiments")
@@ -164,6 +209,53 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="also write the table rows as CSV to "
                                     "OUT ('-' = stdout)")
 
+    worker_parser = sub.add_parser(
+        "worker", help="run a sweep-task worker (socket transport)")
+    worker_sub = worker_parser.add_subparsers(dest="worker_command")
+    serve_parser = worker_sub.add_parser(
+        "serve",
+        help="serve sweep tasks over TCP for --backend socket",
+        epilog="One worker process is one execution slot serving one "
+               "coordinator connection at a time; run several (one port "
+               "each) to donate several cores.  After a sweep finishes "
+               "the worker loops back to accepting, so long-lived "
+               "workers serve any number of sweeps.  The coordinator's "
+               "handshake refuses a worker whose CODE_SCHEMA_VERSION "
+               "differs from its own.",
+    )
+    serve_parser.add_argument("--listen", metavar="HOST:PORT",
+                              required=True,
+                              help="address to listen on (port 0 = pick "
+                                   "an ephemeral port and announce it on "
+                                   "stderr)")
+    serve_parser.add_argument("--max-connections", type=int, default=None,
+                              metavar="N",
+                              help="exit after serving N coordinator "
+                                   "connections (default: serve forever)")
+
+    store_parser = sub.add_parser(
+        "store", help="maintenance tooling for results stores")
+    store_sub = store_parser.add_subparsers(dest="store_command")
+    merge_parser = store_sub.add_parser(
+        "merge",
+        help="compact stores of one sweep into a single fresh store file",
+        epilog="Sources may be any mix of single-file stores, sharded "
+               "base paths and shard directories; they must all belong "
+               "to the same sweep configuration (mixed grids are "
+               "refused).  Records are rewritten in planned-grid order "
+               "with duplicates collapsed, so reporting or resuming from "
+               "the merged store is byte-identical to using the sources. "
+               "The sources are left untouched; delete them yourself "
+               "once satisfied.",
+    )
+    merge_parser.add_argument("sources", metavar="SRC", nargs="+",
+                              help="stores to merge (single files, "
+                                   "sharded base paths or shard "
+                                   "directories)")
+    merge_parser.add_argument("--output", metavar="OUT", required=True,
+                              help="fresh single-file store to write "
+                                   "(must not already hold data)")
+
     sub.add_parser("figure", help="print the Figure 1/2 worked example")
     sub.add_parser("list", help="list algorithms, families and experiments")
     return parser
@@ -186,6 +278,17 @@ def _open_store(parser: argparse.ArgumentParser, args: argparse.Namespace):
     if getattr(args, "output", None):
         return open_store(args.output, shards=shards)
     return None
+
+
+def _compose_backend(args: argparse.Namespace):
+    """Build the execution backend from --backend/--scheduler/--transport.
+
+    Returns ``None`` when no flag was given, so the historical jobs-driven
+    default (which also sees the grid size) still applies downstream.
+    """
+    return make_backend(backend=args.backend, scheduler=args.scheduler,
+                        transport=args.transport, workers=args.workers,
+                        jobs=args.jobs)
 
 
 def _write_rows_csv(rows: List[dict], destination: str) -> None:
@@ -231,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 repetitions=args.repetitions,
                 seed=args.seed,
                 jobs=args.jobs,
-                backend=args.backend,
+                backend=_compose_backend(args),
                 keep_runs=False,
                 store=store,
                 resume=args.resume,
@@ -250,7 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             report = run_experiment(args.experiment_id, scale=args.scale,
                                     seed=args.seed, jobs=args.jobs,
-                                    backend=args.backend,
+                                    backend=_compose_backend(args),
                                     store=store, resume=args.resume)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -260,6 +363,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 store.close()
         print(report.render())
         return 0 if report.passed else 1
+
+    if args.command == "worker":
+        if args.worker_command != "serve":
+            print("usage: repro-mis worker serve --listen HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        from repro.experiments.worker import serve
+
+        try:
+            return serve(args.listen, max_connections=args.max_connections)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "store":
+        if args.store_command != "merge":
+            print("usage: repro-mis store merge SRC [SRC ...] --output OUT",
+                  file=sys.stderr)
+            return 2
+        try:
+            written = merge_stores(args.sources, args.output)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"merged {len(args.sources)} store(s) into {args.output} "
+              f"({written} result records)")
+        return 0
 
     if args.command == "report":
         try:
@@ -312,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("algorithms :", ", ".join(available_algorithms()))
         print("families   :", ", ".join(sorted(FAMILIES)))
         print("backends   :", ", ".join(available_backends()))
+        print("schedulers :", ", ".join(available_schedulers()))
+        print("transports :", ", ".join(available_transports()))
         print("experiments:", ", ".join(available_experiments()))
         return 0
 

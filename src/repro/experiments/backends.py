@@ -1,79 +1,63 @@
-"""Pluggable execution backends for the sweep executor.
+"""Execution backends: (scheduler × transport) compositions.
 
-The executor (:mod:`repro.experiments.executor`) decides *what* runs — an
-up-front-seeded list of :class:`~repro.experiments.executor.SweepTask`
-specs — while a backend decides *where*.  Every backend implements one
-method::
+Historically this module implemented four monolithic backends; the layer
+is now split into two orthogonal pieces —
+
+* :mod:`repro.experiments.schedulers` owns *what runs when* (task
+  ordering, retry/requeue, crash-loop accounting), and
+* :mod:`repro.experiments.transports` owns *how bytes move* (in-process,
+  pools, worker subprocesses over pipes, socket workers over TCP) —
+
+and a "backend" is simply a :class:`ComposedBackend` pairing one of each.
+The historical ``backend=`` strings remain as aliases so every existing
+``run_sweep``/registry/CLI call keeps working::
+
+    serial  == fifo × inline
+    thread  == fifo × thread
+    process == fifo × process
+    async   == fifo × subprocess
+    socket  == fifo × socket      (workers via --workers / REPRO_WORKERS)
+
+Every backend implements one method::
 
     submit_tasks(tasks) -> iterator of (index, MISRunResult)
 
 yielding ``(position-in-tasks, compact result)`` pairs as executions
-finish.  Because all seeds are fixed before submission, the pairs carry
-byte-identical results on every backend; only arrival order and the
-failure model differ.  Closing the returned generator early cancels
-queued work and shuts workers down.
+finish.  Because all seeds are fixed before submission
+(:func:`~repro.experiments.executor.plan_sweep_tasks`), the pairs carry
+byte-identical results for every scheduler × transport × jobs
+combination; only arrival order and the failure model differ.  Closing
+the returned generator early cancels queued work and shuts workers down.
 
-Backends
---------
-
-``serial`` (:class:`SerialBackend`)
-    In-process, task order, zero pickling.  The default for ``jobs=1`` and
-    the reference every other backend is tested against.
-``thread`` (:class:`ThreadBackend`)
-    A ``ThreadPoolExecutor``.  Shares the coordinator's memory (no task or
-    result serialisation) but contends for the GIL; mainly useful as the
-    cheapest completion-order backend and for exercising consumers against
-    out-of-order arrival.
-``process`` (:class:`ProcessBackend`)
-    The historical ``ProcessPoolExecutor`` fan-out, including the
-    worker initializer that clears fork-inherited graph-cache entries.
-    The default whenever ``jobs > 1``.
-``async`` (:class:`AsyncSubprocessBackend`)
-    asyncio-managed worker subprocesses speaking length-prefixed JSON over
-    stdio pipes (:mod:`repro.experiments.worker`).  Unlike the pool, a
-    crashed worker is restarted and its in-flight task requeued, and the
-    coordinator↔worker protocol is plain framed JSON — the stepping stone
-    to a cluster backend where workers live on other machines.
-
-Selection goes through :func:`resolve_backend`; the CLI exposes it as
-``--backend serial|thread|process|async``.
+Selection goes through :func:`resolve_backend` (alias strings, composed
+objects) or :func:`make_backend` (CLI-style ``--backend``/``--scheduler``/
+``--transport``/``--workers`` selectors).
 """
 
 from __future__ import annotations
 
-import asyncio
-import collections
-import contextlib
-import json
-import os
-import queue
-import struct
-import sys
-import threading
-from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
-                                as_completed)
-from pathlib import Path
 from typing import (Dict, Iterator, List, Optional, Protocol, Sequence,
-                    Tuple, Type)
+                    Tuple, Type, Union)
 
-from repro.errors import ConfigurationError, WorkerCrashError
-from repro.experiments.executor import (_build_graph,
-                                        _reset_worker_graph_cache,
-                                        BackendLike, SweepTask, resolve_jobs,
-                                        run_task)
+from repro.errors import ConfigurationError
+from repro.experiments.executor import (BackendLike, SweepTask,
+                                        resolve_jobs)
 from repro.experiments.harness import MISRunResult
-
-#: Environment variable naming a directory of fault-injection markers for
-#: the subprocess worker (see :func:`repro.experiments.worker.maybe_crash`).
-#: Test-only: lets the crash-recovery suite kill a worker mid-task
-#: deterministically.
-WORKER_FAULT_DIR_ENV = "REPRO_WORKER_FAULT_DIR"
+from repro.experiments.schedulers import (SCHEDULERS, FifoScheduler,
+                                          LargeFirstScheduler, Scheduler,
+                                          available_schedulers,
+                                          resolve_scheduler)
+from repro.experiments.transports import (  # noqa: F401 - re-exported compat
+    SOCKET_WORKERS_ENV, TRANSPORTS, WORKER_FAULT_DIR_ENV, InlineTransport,
+    ProcessTransport, SocketTransport, SubprocessTransport, ThreadTransport,
+    Transport, available_transports, parse_worker_addresses,
+    resolve_transport)
 
 
 class Backend(Protocol):
     """Protocol every execution backend implements."""
 
-    #: Registry name (``"serial"``, ``"thread"``, ...).
+    #: Registry name (``"serial"``, ``"thread"``, ...) or composed label.
     name: str
 
     def submit_tasks(
@@ -83,375 +67,139 @@ class Backend(Protocol):
         ...
 
 
-class SerialBackend:
-    """In-process execution in task order (no pool, no pickling).
+class ComposedBackend:
+    """One scheduler driving one transport.
 
-    Keeps single-run debugging, tracebacks and profiling simple — an
-    unpicklable monkeypatched algorithm adapter still works here, which is
-    load-bearing for several tests.
+    The scheduler dispatches tasks (in policy order, with retry/requeue
+    and crash-loop accounting) into the transport's slots; the transport
+    moves the frames and reports completions and slot deaths.  Opening
+    and closing the transport session brackets the result stream, so an
+    abandoned generator still tears every worker down deterministically.
     """
 
-    name = "serial"
-
-    def __init__(self, jobs: Optional[int] = 1) -> None:
-        # *jobs* is accepted for registry uniformity; serial is always 1.
-        del jobs
-
-    def submit_tasks(
-        self, tasks: Sequence[SweepTask],
-    ) -> Iterator[Tuple[int, MISRunResult]]:
-        try:
-            for index, task in enumerate(tasks):
-                yield index, run_task(task)
-        finally:
-            # Don't pin graphs in the coordinator process beyond the sweep.
-            _build_graph.cache_clear()
-
-
-class _PoolBackend:
-    """Shared ``concurrent.futures`` fan-out (thread and process pools).
-
-    Per-task submission (no chunking): specs are a few ints/strings and
-    results are compact, so submission overhead is trivial — while tasks
-    are emitted in ascending-n order, meaning chunking would hand the
-    expensive large-n tail to a single straggler worker.
-    """
-
-    #: Executor class and extra constructor kwargs, set by subclasses.
-    _pool_cls: Type = ThreadPoolExecutor
-    _pool_kwargs: Dict = {}
-
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(self, scheduler: Union[None, str, Scheduler] = None,
+                 transport: Union[None, str, Transport] = None,
+                 jobs: Optional[int] = None, max_attempts: int = 3) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.scheduler = resolve_scheduler(scheduler,
+                                           max_attempts=max_attempts)
+        self.transport = resolve_transport(transport, jobs=self.jobs)
 
-    def submit_tasks(
-        self, tasks: Sequence[SweepTask],
-    ) -> Iterator[Tuple[int, MISRunResult]]:
-        if not tasks:
-            return
-        workers = min(self.jobs, len(tasks))
-        done = 0
-        with self._pool_cls(max_workers=workers, **self._pool_kwargs) as pool:
-            future_to_index = {pool.submit(run_task, task): index
-                               for index, task in enumerate(tasks)}
-            try:
-                for future in as_completed(future_to_index):
-                    done += 1
-                    yield future_to_index[future], future.result()
-            finally:
-                # If the consumer abandons the stream early, don't let
-                # queued tasks keep the pool busy through the context-
-                # manager join.
-                if done < len(tasks):
-                    for future in future_to_index:
-                        future.cancel()
-                _build_graph.cache_clear()
+    @property
+    def name(self) -> str:
+        return f"{self.scheduler.name}+{self.transport.name}"
 
+    @property
+    def worker_restarts(self) -> int:
+        """Cumulative worker replacements (crash-recovery accounting)."""
+        return self.transport.restarts
 
-class ThreadBackend(_PoolBackend):
-    """Thread-pool execution: completion order, shared memory, GIL-bound."""
-
-    name = "thread"
-    _pool_cls = ThreadPoolExecutor
-
-
-class ProcessBackend(_PoolBackend):
-    """The historical ``ProcessPoolExecutor`` fan-out.
-
-    The initializer clears fork-inherited graph-cache entries so workers
-    never pin stale graphs left by a previous in-process sweep.
-    """
-
-    name = "process"
-    _pool_cls = ProcessPoolExecutor
-    _pool_kwargs = {"initializer": _reset_worker_graph_cache}
-
-
-class _WorkerDied(Exception):
-    """Internal: the subprocess worker exited before returning a result."""
-
-
-class AsyncSubprocessBackend:
-    """asyncio-managed worker subprocesses with crash recovery.
-
-    Each worker is ``python -m repro.experiments.worker``: a loop reading
-    length-prefixed JSON task frames from stdin and writing result frames
-    to stdout.  The coordinator runs an asyncio event loop (on a helper
-    thread, so ``submit_tasks`` stays an ordinary generator) with one
-    feeder coroutine per worker pulling from a shared task deque.
-
-    Failure model — the property the pool backends lack:
-
-    * a worker that **dies** mid-task (kill, crash, OOM) is reaped and
-      replaced, and its in-flight task is requeued; the sweep completes
-      with byte-identical results.  A task that crashes its worker
-      :attr:`max_attempts` times raises :class:`~repro.errors
-      .WorkerCrashError` instead of looping forever.
-    * a task that **raises** inside the worker is reported back as an
-      error frame (the worker survives) and re-raised in the coordinator,
-      matching the serial backend's behaviour.
-
-    ``worker_restarts`` counts replacements, which is what the crash-
-    recovery tests assert on.
-    """
-
-    name = "async"
-
-    def __init__(self, jobs: Optional[int] = None,
-                 max_attempts: int = 3) -> None:
-        self.jobs = resolve_jobs(jobs)
-        self.max_attempts = max_attempts
-        self.worker_restarts = 0
-
-    # ------------------------------------------------------------------ #
-    # Synchronous generator facade
-    # ------------------------------------------------------------------ #
     def submit_tasks(
         self, tasks: Sequence[SweepTask],
     ) -> Iterator[Tuple[int, MISRunResult]]:
         task_list = list(tasks)
         if not task_list:
             return
-        # The event loop lives on a helper thread; results cross back on a
-        # plain queue so this generator can yield them synchronously.
-        out: "queue.Queue[Tuple[str, object, object]]" = queue.Queue()
-        stop = threading.Event()
-        runner = threading.Thread(
-            target=self._thread_main, args=(task_list, out, stop),
-            name="repro-async-backend", daemon=True,
-        )
-        runner.start()
-        emitted = 0
+        slots = max(1, min(self.jobs, len(task_list)))
+        session = self.transport.open(slots)
         try:
-            while emitted < len(task_list):
-                kind, first, second = out.get()
-                if kind == "error":
-                    raise first  # type: ignore[misc]
-                if kind == "done":
-                    raise WorkerCrashError(
-                        f"async backend finished after {emitted} of "
-                        f"{len(task_list)} results — workers were lost "
-                        "without their tasks being requeued (bug)"
-                    )
-                yield first, second  # type: ignore[misc]
-                emitted += 1
-            # Normal completion: wait for the loop thread's sentinel so the
-            # workers finish their graceful EOF shutdown *inside* the event
-            # loop.  Setting ``stop`` right away would cancel them mid-
-            # shutdown and leak subprocess transports.
-            kind, first, _second = out.get()
-            if kind == "error":
-                raise first  # type: ignore[misc]
+            yield from self.scheduler.run(task_list, session)
         finally:
-            stop.set()
-            runner.join()
-
-    def _thread_main(self, task_list, out, stop) -> None:
-        try:
-            asyncio.run(self._run(task_list, out, stop))
-        except BaseException as error:  # noqa: E722 - forwarded to consumer
-            out.put(("error", error, None))
-        else:
-            out.put(("done", None, None))
-
-    # ------------------------------------------------------------------ #
-    # Event-loop side
-    # ------------------------------------------------------------------ #
-    async def _run(self, task_list, out, stop) -> None:
-        pending = collections.deque(enumerate(task_list))
-        attempts = [0] * len(task_list)
-        workers = max(1, min(self.jobs, len(task_list)))
-        # return_exceptions=True is load-bearing, not cosmetic: without it
-        # the gather completes on the FIRST cancelled worker, this
-        # coroutine returns while sibling workers are still awaiting their
-        # subprocess shutdowns, and asyncio.run's teardown re-cancels them
-        # mid-finally — leaking subprocess transports past the loop's
-        # lifetime.  With it the gather only resolves once every worker
-        # (finally included) has finished.
-        work_task = asyncio.ensure_future(asyncio.gather(
-            *(self._worker_loop(pending, attempts, out)
-              for _ in range(workers)),
-            return_exceptions=True,
-        ))
-        stop_task = asyncio.ensure_future(self._watch_stop(stop))
-        await asyncio.wait({work_task, stop_task},
-                           return_when=asyncio.FIRST_COMPLETED)
-        stop_task.cancel()
-        if not work_task.done():
-            # Consumer abandoned the stream: cancel the feeders; their
-            # finally blocks shut the subprocesses down.
-            work_task.cancel()
-        with contextlib.suppress(asyncio.CancelledError):
-            await stop_task
-        with contextlib.suppress(asyncio.CancelledError):
-            outcomes = await work_task
-            for outcome in outcomes:
-                if (isinstance(outcome, BaseException)
-                        and not isinstance(outcome, asyncio.CancelledError)):
-                    raise outcome
-
-    @staticmethod
-    async def _watch_stop(stop: threading.Event) -> None:
-        while not stop.is_set():
-            await asyncio.sleep(0.05)
-
-    async def _worker_loop(self, pending, attempts, out) -> None:
-        proc = None
-        try:
-            while pending:
-                index, task = pending.popleft()
-                attempts[index] += 1
-                if proc is None:
-                    spawn = asyncio.ensure_future(self._spawn())
-                    try:
-                        proc = await asyncio.shield(spawn)
-                    except asyncio.CancelledError:
-                        # Cancelled mid-spawn (consumer abandoned the
-                        # stream): the subprocess creation continues in
-                        # the shielded task — adopt its result so the
-                        # finally below disposes of the worker instead of
-                        # leaking its transport past the loop's lifetime.
-                        if not spawn.cancelled():
-                            with contextlib.suppress(BaseException):
-                                proc = await spawn
-                        raise
-                try:
-                    await self._send(proc, index, task)
-                    frame = await self._recv(proc)
-                except _WorkerDied:
-                    # The worker died mid-task: replace it and requeue the
-                    # task (at the back, so a healthy sibling may pick it
-                    # up first).
-                    self.worker_restarts += 1
-                    await self._reap(proc)
-                    proc = None
-                    if attempts[index] >= self.max_attempts:
-                        raise WorkerCrashError(
-                            f"task {index} ({task.algorithm} on "
-                            f"{task.family} n={task.n}) crashed its worker "
-                            f"{attempts[index]} times; giving up"
-                        )
-                    pending.append((index, task))
-                    continue
-                if frame.get("kind") == "error":
-                    if frame.get("configuration"):
-                        # Re-raise configuration mistakes as themselves so
-                        # they render identically on every backend (the
-                        # CLI turns ConfigurationError into `error: ...`).
-                        raise ConfigurationError(
-                            frame.get("message", "task failed in worker"))
-                    raise WorkerCrashError(
-                        f"task {frame.get('index', index)} failed in "
-                        f"worker:\n{frame.get('error', '<no traceback>')}"
-                    )
-                result = MISRunResult.from_record(frame["result"])
-                out.put(("result", int(frame["index"]), result))
-        finally:
-            if proc is not None:
-                await self._dispose(proc)
-
-    async def _dispose(self, proc) -> None:
-        """Run :meth:`_shutdown` to completion even under cancellation.
-
-        The shutdown *must* finish inside the event loop — an interrupted
-        one leaves the subprocess transport open past the loop's lifetime
-        (asyncio then logs 'Event loop is closed' from ``__del__``).  The
-        shield keeps the inner shutdown running when this coroutine is
-        cancelled; each delivered cancellation is absorbed and the wait
-        resumed until the shutdown finishes.
-        """
-        inner = asyncio.ensure_future(self._shutdown(proc))
-        while True:
-            try:
-                await asyncio.shield(inner)
-                return
-            except asyncio.CancelledError:
-                if inner.cancelled():
-                    raise
-                continue
-
-    @staticmethod
-    async def _spawn():
-        # The worker must be able to `import repro` even when the
-        # coordinator runs from a source checkout that is only on
-        # sys.path, not installed: prepend our package root.
-        import repro
-
-        env = dict(os.environ)
-        package_root = str(Path(repro.__file__).resolve().parent.parent)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (package_root if not existing
-                             else package_root + os.pathsep + existing)
-        return await asyncio.create_subprocess_exec(
-            sys.executable, "-m", "repro.experiments.worker",
-            stdin=asyncio.subprocess.PIPE,
-            stdout=asyncio.subprocess.PIPE,
-            env=env,
-        )
-
-    @staticmethod
-    async def _send(proc, index: int, task: SweepTask) -> None:
-        payload = json.dumps(
-            {"kind": "task", "index": index, "task": task.to_json()},
-            sort_keys=True, separators=(",", ":"),
-        ).encode("utf-8")
-        try:
-            proc.stdin.write(struct.pack(">I", len(payload)) + payload)
-            await proc.stdin.drain()
-        except (BrokenPipeError, ConnectionResetError) as error:
-            raise _WorkerDied() from error
-
-    @staticmethod
-    async def _recv(proc) -> Dict:
-        try:
-            header = await proc.stdout.readexactly(4)
-            (length,) = struct.unpack(">I", header)
-            payload = await proc.stdout.readexactly(length)
-        except (asyncio.IncompleteReadError, ConnectionResetError) as error:
-            raise _WorkerDied() from error
-        return json.loads(payload.decode("utf-8"))
-
-    @staticmethod
-    def _close_transport(proc) -> None:
-        """Close the subprocess transport while the loop is still alive.
-
-        The stdout pipe is never read to EOF (results are framed, not
-        streamed), so without this the transport lingers until garbage
-        collection — by which time the event loop is closed and asyncio
-        logs 'Event loop is closed' noise from ``__del__``.
-        """
-        transport = getattr(proc, "_transport", None)
-        if transport is not None:
-            transport.close()
-
-    @classmethod
-    async def _reap(cls, proc) -> None:
-        """Collect a worker that already died (or kill a wedged one)."""
-        with contextlib.suppress(ProcessLookupError):
-            proc.kill()
-        await proc.wait()
-        cls._close_transport(proc)
-
-    @classmethod
-    async def _shutdown(cls, proc) -> None:
-        """Graceful stop: EOF on stdin ends the worker loop; kill if not."""
-        with contextlib.suppress(BrokenPipeError, ConnectionResetError):
-            proc.stdin.close()
-        try:
-            await asyncio.wait_for(proc.wait(), timeout=5.0)
-        except asyncio.TimeoutError:
-            with contextlib.suppress(ProcessLookupError):
-                proc.kill()
-            await proc.wait()
-        cls._close_transport(proc)
+            # Deterministic teardown on completion, error and abandonment
+            # alike: cancel queued work, shut every slot down.
+            session.close()
 
 
-#: Registry of selectable backends (the CLI's ``--backend`` choices).
+class SerialBackend(ComposedBackend):
+    """fifo × inline: in-process, task order, zero pickling.
+
+    Keeps single-run debugging, tracebacks and profiling simple — an
+    unpicklable monkeypatched algorithm adapter still works here, which
+    is load-bearing for several tests.
+    """
+
+    name = "serial"
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 scheduler: Union[None, str, Scheduler] = None) -> None:
+        # *jobs* is accepted for registry uniformity; inline is always 1.
+        del jobs
+        super().__init__(scheduler=scheduler, transport=InlineTransport(),
+                         jobs=1)
+
+
+class ThreadBackend(ComposedBackend):
+    """fifo × thread: completion order, shared memory, GIL-bound."""
+
+    name = "thread"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 scheduler: Union[None, str, Scheduler] = None) -> None:
+        super().__init__(scheduler=scheduler, transport=ThreadTransport(),
+                         jobs=jobs)
+
+
+class ProcessBackend(ComposedBackend):
+    """fifo × process: the historical ``ProcessPoolExecutor`` fan-out."""
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 scheduler: Union[None, str, Scheduler] = None) -> None:
+        super().__init__(scheduler=scheduler, transport=ProcessTransport(),
+                         jobs=jobs)
+
+
+class AsyncSubprocessBackend(ComposedBackend):
+    """fifo × subprocess: crash-recovering worker subprocesses.
+
+    Each slot is ``python -m repro.experiments.worker`` speaking
+    length-prefixed JSON over stdio pipes.  A worker that dies mid-task
+    is replaced and its task requeued; a task that crashes its worker
+    *max_attempts* times raises :class:`~repro.errors.WorkerCrashError`
+    instead of looping forever.  (The name predates the scheduler ×
+    transport split, when this was an asyncio implementation.)
+    """
+
+    name = "async"
+
+    def __init__(self, jobs: Optional[int] = None, max_attempts: int = 3,
+                 scheduler: Union[None, str, Scheduler] = None) -> None:
+        super().__init__(scheduler=scheduler,
+                         transport=SubprocessTransport(), jobs=jobs,
+                         max_attempts=max_attempts)
+        self.max_attempts = max_attempts
+
+
+class SocketBackend(ComposedBackend):
+    """fifo × socket: the worker protocol over TCP — the cluster backend.
+
+    Serve workers anywhere with ``repro-mis worker serve --listen
+    HOST:PORT`` and point the coordinator at them (CLI ``--workers
+    host:port,...``, or the :data:`~repro.experiments.transports
+    .SOCKET_WORKERS_ENV` environment variable).  One slot per worker; a
+    dropped connection is requeued exactly like a killed subprocess.
+    """
+
+    name = "socket"
+
+    def __init__(self, jobs: Optional[int] = None,
+                 workers: Union[None, str, Sequence[str]] = None,
+                 max_attempts: int = 3,
+                 scheduler: Union[None, str, Scheduler] = None) -> None:
+        super().__init__(scheduler=scheduler,
+                         transport=SocketTransport(workers), jobs=jobs,
+                         max_attempts=max_attempts)
+        self.max_attempts = max_attempts
+
+
+#: Registry of selectable backend aliases (the CLI's ``--backend`` choices).
 BACKENDS: Dict[str, Type] = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
     "async": AsyncSubprocessBackend,
+    "socket": SocketBackend,
 }
 
 
@@ -482,3 +230,62 @@ def resolve_backend(backend: BackendLike, jobs: Optional[int] = 1,
             )
         return BACKENDS[backend](jobs=jobs)
     return backend
+
+
+def make_backend(backend: Optional[str] = None,
+                 scheduler: Optional[str] = None,
+                 transport: Optional[str] = None,
+                 workers: Union[None, str, Sequence[str]] = None,
+                 jobs: Optional[int] = 1,
+                 max_attempts: int = 3) -> Optional[Backend]:
+    """Compose a backend from CLI-style selectors.
+
+    Returns ``None`` when every selector is ``None`` — the historical
+    jobs-driven default (which also knows the grid size) then applies in
+    :func:`resolve_backend`.  A ``--backend`` alias provides the
+    (scheduler, transport) pair; explicit ``--scheduler`` / ``--transport``
+    override its halves; ``--workers`` implies the socket transport.
+    """
+    if backend is not None and backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend '{backend}'; known: {available_backends()}"
+        )
+    if backend is not None and transport is not None:
+        raise ConfigurationError(
+            "pass either --backend (a scheduler × transport alias) or "
+            "--transport, not both"
+        )
+    if workers is not None:
+        if backend == "socket" or transport == "socket":
+            pass  # socket already selected explicitly
+        elif backend is None and transport is None:
+            transport = "socket"  # --workers alone implies socket
+        else:
+            raise ConfigurationError(
+                "--workers only applies to the socket transport "
+                "(--backend socket / --transport socket)"
+            )
+    if backend is None and scheduler is None and transport is None:
+        return None
+    if backend == "socket" or transport == "socket":
+        return ComposedBackend(scheduler=scheduler,
+                               transport=SocketTransport(workers),
+                               jobs=jobs, max_attempts=max_attempts)
+    if backend is not None:
+        # Alias classes carry their transport; just add the scheduler.
+        return BACKENDS[backend](jobs=jobs, scheduler=scheduler)
+    return ComposedBackend(scheduler=scheduler, transport=transport,
+                           jobs=jobs, max_attempts=max_attempts)
+
+
+__all__ = [
+    "Backend", "ComposedBackend", "SerialBackend", "ThreadBackend",
+    "ProcessBackend", "AsyncSubprocessBackend", "SocketBackend",
+    "BACKENDS", "available_backends", "resolve_backend", "make_backend",
+    "Scheduler", "FifoScheduler", "LargeFirstScheduler", "SCHEDULERS",
+    "available_schedulers", "resolve_scheduler",
+    "Transport", "InlineTransport", "ThreadTransport", "ProcessTransport",
+    "SubprocessTransport", "SocketTransport", "TRANSPORTS",
+    "available_transports", "resolve_transport", "parse_worker_addresses",
+    "WORKER_FAULT_DIR_ENV", "SOCKET_WORKERS_ENV",
+]

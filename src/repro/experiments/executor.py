@@ -27,12 +27,16 @@ Design invariants
 ``jobs=1`` (the default) executes in-process with no pool, which keeps
 single-run debugging, tracebacks and profiling simple.
 
-*Where* tasks execute is delegated to a pluggable execution backend
-(:mod:`repro.experiments.backends`): ``backend="serial"`` runs in-process,
-``"thread"`` in a thread pool, ``"process"`` in the historical process pool
-and ``"async"`` in asyncio-managed worker subprocesses that survive worker
-crashes.  Every backend consumes the same up-front-seeded task specs, so
-they are interchangeable without affecting a single result byte.
+*Where* and *in what order* tasks execute is delegated to a pluggable
+execution backend (:mod:`repro.experiments.backends`): a **scheduler**
+(:mod:`repro.experiments.schedulers` — ``fifo`` or ``large-first``
+ordering, retry/requeue, crash-loop accounting) composed with a
+**transport** (:mod:`repro.experiments.transports` — ``inline``,
+``thread``, ``process``, ``subprocess`` pipes, or ``socket`` workers on
+other hosts).  The historical ``backend="serial"|"thread"|"process"|
+"async"|"socket"`` strings select ready-made compositions.  Every
+combination consumes the same up-front-seeded task specs, so they are
+interchangeable without affecting a single result byte.
 
 Two consumption modes are offered: :func:`execute_tasks` returns the full
 result list in task order (batch), while :func:`iter_task_results` /
@@ -293,11 +297,17 @@ def iter_indexed_results(
         for index, result in stream:
             done += 1
             if progress is not None:
+                # A raising callback must not abandon in-flight workers or
+                # leak transports: the finally below closes the backend
+                # stream (cancelling queued work and shutting every slot
+                # down) *before* the exception reaches the caller — same
+                # teardown path as a consumer abandoning the stream.
                 progress(task_list[index], result, done, total)
             yield index, task_list[index], result
     finally:
-        # Deterministic cleanup on early abandonment: closing the backend
-        # stream cancels queued work and shuts workers down.
+        # Deterministic cleanup on early abandonment, progress-callback
+        # exceptions and worker errors alike: closing the backend stream
+        # cancels queued work and shuts workers down.
         close = getattr(stream, "close", None)
         if close is not None:
             close()

@@ -8,10 +8,13 @@ benchmarks under ``benchmarks/`` and the CLI (``repro-mis experiment E1``)
 both dispatch through this registry, so the paper-facing artefacts are
 regenerated from exactly one code path.
 
-The sweep-backed experiments (E1–E5, E9) accept ``jobs`` (worker processes)
-and ``store``/``resume`` (a :class:`~repro.experiments.store.ResultStore`
-that persists every task result as it completes and lets an interrupted
-``full``-scale grid continue instead of restarting).
+The sweep-backed experiments (E1–E5, E9) accept ``jobs`` (worker
+processes), ``backend`` (any scheduler × transport composition — the CLI
+builds it from ``--backend``/``--scheduler``/``--transport``/``--workers``,
+so a full-scale E9 grid can run large-first over socket workers on other
+hosts) and ``store``/``resume`` (a :class:`~repro.experiments.store
+.ResultStore` that persists every task result as it completes and lets an
+interrupted ``full``-scale grid continue instead of restarting).
 """
 
 from __future__ import annotations

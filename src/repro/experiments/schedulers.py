@@ -1,0 +1,188 @@
+"""Scheduling policies for the sweep execution layer.
+
+The execution layer is split along two orthogonal axes:
+
+* a **scheduler** (this module) owns *what runs when*: task ordering,
+  retry/requeue of tasks whose execution slot died, crash-loop
+  accounting, and surfacing worker errors; while
+* a **transport** (:mod:`repro.experiments.transports`) owns *how bytes
+  move*: carrying :class:`~repro.experiments.executor.SweepTask` frames
+  to execution slots (in-process, a pool, worker subprocesses, or TCP
+  workers on other hosts) and reporting completions and slot deaths.
+
+A scheduler drives a :class:`~repro.experiments.transports
+.TransportSession` through a small event loop: keep every available slot
+fed in policy order, collect ``result``/``error``/``lost`` events, requeue
+the in-flight task of a lost slot (at the back, so a healthy slot may pick
+it up first), and give up with :class:`~repro.errors.WorkerCrashError`
+once a task has crashed its slot :attr:`max_attempts` times or no live
+slot remains.  Because every task's seeds were fixed up front by
+:func:`~repro.experiments.executor.plan_sweep_tasks`, *no* scheduling
+policy can affect a single result byte — policies only move wall-clock
+time around.
+
+Policies
+--------
+
+``fifo`` (:class:`FifoScheduler`)
+    Dispatch in planned-grid order.  The historical behaviour of every
+    backend, and the reference the equivalence matrix pins.
+``large-first`` (:class:`LargeFirstScheduler`)
+    Dispatch in descending graph size ``n`` (ties in planned order).
+    Sweep grids are emitted in ascending-n order, so under fifo the
+    expensive large-n tail lands last and the sweep ends waiting on a
+    single straggler slot; dispatching the large tasks first lets the
+    small ones fill the tail — the classic LPT straggler cut on skewed
+    grids.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, Iterator, List, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.harness import MISRunResult
+
+
+class Scheduler:
+    """Base scheduler: the slot-feeding event loop minus the policy.
+
+    Subclasses override :meth:`order` to pick the dispatch order.  The
+    loop guarantees every task is executed to completion exactly once (a
+    requeued task re-executes, but only after its previous execution was
+    lost with its slot), or raises.
+
+    *max_attempts* bounds how many times one task may take a slot down
+    with it before the run is abandoned with
+    :class:`~repro.errors.WorkerCrashError` — without it a task that
+    reliably crashes its worker (a genuine bug, an OOM) would burn
+    through replacement slots forever.
+    """
+
+    #: Registry name ("fifo", "large-first"), set by subclasses.
+    name = "fifo"
+
+    def __init__(self, max_attempts: int = 3) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"invalid max_attempts {max_attempts!r}: need a positive int"
+            )
+        self.max_attempts = max_attempts
+
+    # ------------------------------------------------------------------ #
+    # Policy hook
+    # ------------------------------------------------------------------ #
+    def order(self, tasks: Sequence) -> List[int]:
+        """Return task indices in dispatch order (fifo: planned order)."""
+        return list(range(len(tasks)))
+
+    # ------------------------------------------------------------------ #
+    # Driver loop
+    # ------------------------------------------------------------------ #
+    def run(self, tasks: Sequence, session) -> Iterator[Tuple[int, MISRunResult]]:
+        """Drive *session* over *tasks*, yielding ``(index, result)`` pairs.
+
+        The generator owns dispatch only — opening and closing the session
+        is the caller's job (see :class:`~repro.experiments.backends
+        .ComposedBackend`), so an abandoned stream still tears the
+        transport down deterministically.
+        """
+        pending = collections.deque(self.order(tasks))
+        attempts = [0] * len(tasks)
+        in_flight = 0
+        while pending or in_flight:
+            slots = session.slots
+            if slots <= 0 and in_flight == 0:
+                raise WorkerCrashError(
+                    f"every execution slot was lost with {len(pending)} "
+                    "task(s) still pending; nothing left to run them on"
+                )
+            while pending and in_flight < slots:
+                index = pending.popleft()
+                attempts[index] += 1
+                session.submit(index, tasks[index])
+                in_flight += 1
+            if in_flight == 0:
+                # Slots exist but nothing could be dispatched — impossible
+                # unless the session lies about its slot count.
+                raise WorkerCrashError(
+                    "scheduler stalled: live slots reported but no task "
+                    "could be dispatched (transport bug)"
+                )
+            event = session.next_event()
+            kind, index = event[0], event[1]
+            in_flight -= 1
+            if kind == "result":
+                yield index, event[2]
+            elif kind == "error":
+                raise event[2]
+            elif kind == "lost":
+                task = tasks[index]
+                if attempts[index] >= self.max_attempts:
+                    raise WorkerCrashError(
+                        f"task {index} ({task.algorithm} on {task.family} "
+                        f"n={task.n}) crashed its worker {attempts[index]} "
+                        "times; giving up"
+                    )
+                # Requeue at the back: a healthy sibling slot may pick the
+                # task up before the lost slot finishes being replaced.
+                pending.append(index)
+            else:  # pragma: no cover - defensive
+                raise WorkerCrashError(f"unknown transport event {kind!r}")
+
+
+class FifoScheduler(Scheduler):
+    """Dispatch in planned-grid order (the historical behaviour)."""
+
+    name = "fifo"
+
+
+class LargeFirstScheduler(Scheduler):
+    """Dispatch descending-n to cut the straggler tail on skewed grids.
+
+    Sweep cost grows super-linearly in ``n`` while grids are emitted in
+    ascending-n order, so fifo parks the most expensive tasks at the end
+    — the final stretch of a parallel sweep is one slot grinding the
+    largest graph while the others idle.  Longest-processing-time-first
+    dispatch starts those tasks immediately and backfills slots with
+    cheap small-n tasks, which is where the wall-clock win on the E1–E9
+    grids comes from.  The sort is stable on the planned index, so the
+    dispatch order is deterministic (results never depend on it anyway).
+    """
+
+    name = "large-first"
+
+    def order(self, tasks: Sequence) -> List[int]:
+        return sorted(range(len(tasks)), key=lambda i: (-tasks[i].n, i))
+
+
+#: Registry of selectable scheduling policies (the CLI's ``--scheduler``).
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    "fifo": FifoScheduler,
+    "large-first": LargeFirstScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Scheduler names accepted by ``--scheduler`` / :func:`resolve_scheduler`."""
+    return sorted(SCHEDULERS)
+
+
+def resolve_scheduler(scheduler, max_attempts: int = 3) -> Scheduler:
+    """Turn a scheduler selector into a scheduler object.
+
+    ``None`` means fifo (the historical order); a string is looked up in
+    :data:`SCHEDULERS`; anything else is assumed to already be a scheduler
+    object and returned as-is.
+    """
+    if scheduler is None:
+        return FifoScheduler(max_attempts=max_attempts)
+    if isinstance(scheduler, str):
+        if scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler '{scheduler}'; known: "
+                f"{available_schedulers()}"
+            )
+        return SCHEDULERS[scheduler](max_attempts=max_attempts)
+    return scheduler

@@ -44,6 +44,11 @@ or ``dir/shard-K.jsonl``) with identical per-shard semantics; reads merge
 every shard deterministically by grid index, so resume and ``repro-mis
 report`` work across *any* shard count.  :func:`open_store` sniffs which
 form a path is.
+
+:func:`merge_stores` (CLI: ``repro-mis store merge SRC... --output OUT``)
+compacts any mix of single-file and sharded stores of **one** sweep into
+a fresh single-file store — the compaction path for long-lived stores
+that accumulated shards or partial resume files.
 """
 
 from __future__ import annotations
@@ -643,6 +648,105 @@ def open_store(path: os.PathLike, shards: Optional[int] = None):
     if base.is_dir() or discover_shards(base):
         return ShardedResultStore(base)
     return ResultStore(base)
+
+
+def merge_stores(sources: List[os.PathLike], output: os.PathLike) -> int:
+    """Compact one or more stores into a single-file store at *output*.
+
+    The ROADMAP-named compaction tooling for long-lived stores: a sweep
+    written across many shards (or resumed into several partial stores)
+    is rewritten as one fresh single-file :class:`ResultStore` — fresh
+    header, records in planned-grid order, duplicates (the same spec
+    hash recorded in more than one source) collapsed to a single copy.
+    Reading the merged store is byte-identical to reading the merged
+    sources, so ``repro-mis report`` and ``--resume`` keep working with
+    one file where there used to be many.
+
+    Sources may be any mix of single-file stores, sharded base paths and
+    shard directories (:func:`open_store` sniffs each).  All sources
+    must carry the **same** header — mixing sweep configurations (or
+    code schema versions) is refused, exactly as resuming across them
+    would be.  *output* must not already hold data (compaction never
+    destroys anything; delete the sources yourself once satisfied).
+
+    Returns the number of result records written.
+    """
+    if not sources:
+        raise ConfigurationError("store merge: need at least one source store")
+    output_path = Path(output)
+    if output_path.exists() and (output_path.is_dir()
+                                 or output_path.stat().st_size > 0):
+        raise ConfigurationError(
+            f"{output_path}: refusing to overwrite an existing non-empty "
+            "path; point --output at a fresh file"
+        )
+    if discover_shards(output_path):
+        # Writing a single-file store at the base path of an existing
+        # sharded layout would produce a hybrid open_store refuses to
+        # read — the merged store would be unreachable via its own path.
+        raise ConfigurationError(
+            f"{output_path}: path is the base of an existing sharded "
+            "store; point --output at a fresh file"
+        )
+    stores = [open_store(source) for source in sources]
+    resolved = [Path(source) for source in sources]
+    try:
+        header: Optional[Dict[str, Any]] = None
+        header_origin: Optional[Path] = None
+        for source, store in zip(resolved, stores):
+            found = store.header()
+            if found is None:
+                raise ConfigurationError(
+                    f"{source}: not a results store (missing or empty file)"
+                )
+            if header is None:
+                header, header_origin = found, source
+            elif found != header:
+                raise ConfigurationError(
+                    f"{source}: sweep configuration disagrees with "
+                    f"{header_origin}; refusing to merge stores from "
+                    "different sweeps"
+                )
+        merged = ResultStore(output_path)
+        try:
+            merged._append_line(header)
+            written = 0
+            seen_keys: Set[str] = set()
+            # One k-way merge in planned-grid order across every source
+            # (each cursor is already index-sorted, records parse
+            # lazily): grid index is a pure function of the task, so
+            # records for the same task in different sources are true
+            # duplicates and the first copy wins.
+            cursors = [store.iter_grid_ordered_results() for store in stores]
+            heads: List[Optional[Tuple[int, SweepTask, MISRunResult]]] = [
+                next(cursor, None) for cursor in cursors]
+            while True:
+                candidates = [(head[0], position)
+                              for position, head in enumerate(heads)
+                              if head is not None]
+                if not candidates:
+                    break
+                _, position = min(candidates)
+                index, task, result = heads[position]  # type: ignore[misc]
+                heads[position] = next(cursors[position], None)
+                key = task_key(task)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                merged.append(index, task, result)
+                written += 1
+            return written
+        finally:
+            merged.close()
+    except BaseException:
+        # A failed merge must not leave a half-written output behind: it
+        # would read as an interrupted sweep and poison a later --resume.
+        if output_path.exists() and not output_path.is_dir():
+            output_path.unlink()
+        raise
+    finally:
+        for store in stores:
+            store.close()
 
 
 def load_sweep_result(path: os.PathLike):

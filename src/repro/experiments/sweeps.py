@@ -8,10 +8,12 @@ experiments E1–E5 and E9 are thin wrappers around these sweeps.
 
 Execution is delegated to :mod:`repro.experiments.executor`: the grid is
 expanded into seed-carrying task specs up front, then streamed through a
-pluggable execution backend (in-process by default for ``jobs=1``, a
-process pool for ``jobs>1``, or any of ``backend=
-"serial"|"thread"|"process"|"async"`` explicitly) with bit-identical
-results on every backend.  Aggregation is **incremental**: each
+pluggable execution backend — a scheduler × transport composition
+(in-process by default for ``jobs=1``, a process pool for ``jobs>1``, or
+any of ``backend="serial"|"thread"|"process"|"async"|"socket"`` / an
+explicit :class:`~repro.experiments.backends.ComposedBackend`, e.g.
+large-first dispatch over TCP workers) with bit-identical results on
+every combination.  Aggregation is **incremental**: each
 :class:`SweepCell` folds results into running :class:`MetricAccumulator`
 counters as they arrive, so a sweep's memory footprint no longer grows with
 the grid size (pass ``keep_runs=True`` — the default for direct callers —
@@ -253,7 +255,9 @@ def run_sweep(
     *jobs* selects how many workers execute the grid: ``1`` (default) runs
     in-process, ``None``/``0`` uses one worker per CPU.  *backend* selects
     the execution backend (``"serial"``, ``"thread"``, ``"process"``,
-    ``"async"`` or a :class:`~repro.experiments.backends.Backend` object);
+    ``"async"``, ``"socket"`` or a :class:`~repro.experiments.backends
+    .Backend` object — e.g. :class:`~repro.experiments.backends
+    .ComposedBackend` pairing a scheduling policy with a transport);
     ``None`` keeps the jobs-driven default of in-process vs process pool.
 
     *keep_runs* controls whether cells retain the raw

@@ -1,0 +1,724 @@
+"""Transports: how task frames reach execution slots.
+
+The execution layer is split into a **scheduler** (:mod:`repro.experiments
+.schedulers` — task ordering, retry/requeue, crash-loop accounting) and a
+**transport** (this module — moving :class:`~repro.experiments.executor
+.SweepTask` frames to wherever execution happens and moving compact
+results back).  A transport knows nothing about ordering or retry policy;
+it reports what happened to each submitted task and lets the scheduler
+decide what to do about it.
+
+A transport is opened into a :class:`TransportSession` exposing:
+
+``slots``
+    How many executions may be in flight at once (may *shrink* when a
+    remote worker is permanently lost).
+``submit(index, task)``
+    Dispatch one task into a free slot.  The scheduler guarantees it
+    never has more than ``slots`` tasks in flight.
+``next_event()``
+    Block until something happens and return one of::
+
+        ("result", index, MISRunResult)   # task finished
+        ("error",  index, exception)      # task raised / setup failed
+        ("lost",   index)                 # slot died mid-task; requeue it
+``close()``
+    Cancel queued work and shut every slot down.  Idempotent, safe to
+    call with executions in flight.
+
+Transports
+----------
+
+``inline`` (:class:`InlineTransport`)
+    Execute in the coordinator process, synchronously.  Zero pickling;
+    an unpicklable monkeypatched algorithm adapter still works, which is
+    load-bearing for several tests.
+``thread`` (:class:`ThreadTransport`)
+    A ``ThreadPoolExecutor``: shared memory, GIL-bound, the cheapest way
+    to exercise consumers against out-of-order arrival.
+``process`` (:class:`ProcessTransport`)
+    The historical ``ProcessPoolExecutor`` fan-out, including the worker
+    initializer that clears fork-inherited graph-cache entries.
+``subprocess`` (:class:`SubprocessTransport`)
+    One ``python -m repro.experiments.worker`` per slot, speaking
+    length-prefixed JSON over stdio pipes.  A worker that dies mid-task
+    is respawned and the death reported as ``lost`` — the scheduler
+    requeues the task and the sweep completes byte-identically.
+``socket`` (:class:`SocketTransport`)
+    The same framed-JSON worker protocol served over TCP: workers run
+    ``repro-mis worker serve --listen HOST:PORT`` (any host), the
+    coordinator dials each address and gets one slot per worker.  The
+    handshake carries :data:`~repro.experiments.store
+    .CODE_SCHEMA_VERSION`, so a coordinator refuses workers running
+    incompatible code; a dropped connection is requeued exactly like a
+    killed subprocess (with one reconnect attempt in case only the
+    connection — not the worker — died).
+
+Every coordinator↔worker conversation starts with the worker's hello
+frame (``{"kind": "hello", "schema": CODE_SCHEMA_VERSION}``); frames are
+4-byte big-endian length prefixes followed by UTF-8 JSON (see
+:mod:`repro.experiments.worker`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.executor import (_build_graph,
+                                        _reset_worker_graph_cache, SweepTask,
+                                        run_task)
+from repro.experiments.harness import MISRunResult
+from repro.experiments.store import CODE_SCHEMA_VERSION
+
+#: Environment variable naming a directory of fault-injection markers for
+#: framed-protocol workers (see :func:`repro.experiments.worker.maybe_crash`).
+#: Test-only: lets the crash-recovery suites kill a worker mid-task
+#: deterministically, over pipes and over TCP alike.
+WORKER_FAULT_DIR_ENV = "REPRO_WORKER_FAULT_DIR"
+
+#: Environment variable holding default socket worker addresses
+#: (``host:port,host:port``) for ``backend="socket"`` when no explicit
+#: worker list was given (CLI ``--workers`` takes precedence).
+SOCKET_WORKERS_ENV = "REPRO_WORKERS"
+
+#: Sentinel telling a slot thread to exit.
+_SHUTDOWN = object()
+
+
+def parse_worker_addresses(
+    workers: Union[None, str, Sequence[str]],
+) -> List[Tuple[str, int]]:
+    """Parse ``"host:port,host:port"`` (or a sequence) into address pairs."""
+    if workers is None:
+        return []
+    if isinstance(workers, str):
+        parts = [part.strip() for part in workers.split(",") if part.strip()]
+    else:
+        parts = [str(part).strip() for part in workers if str(part).strip()]
+    addresses: List[Tuple[str, int]] = []
+    for part in parts:
+        host, separator, port_text = part.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            raise ConfigurationError(
+                f"invalid worker address '{part}': expected HOST:PORT "
+                "(e.g. 127.0.0.1:8750)"
+            )
+        addresses.append((host, int(port_text)))
+    return addresses
+
+
+def _check_hello(frame: Optional[Dict], origin: str) -> None:
+    """Validate a worker's hello frame (schema handshake).
+
+    The schema version is the same one that keys the results store: a
+    worker built from different code could return metrics that *parse*
+    but mean something else, so a mismatch is refused outright rather
+    than detected later as subtly wrong numbers.
+    """
+    if frame is None or frame.get("kind") != "hello":
+        raise ConfigurationError(
+            f"{origin}: peer did not send a hello frame — not a repro-mis "
+            "worker (or one predating the handshake)"
+        )
+    if frame.get("schema") != CODE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{origin}: worker speaks code schema {frame.get('schema')!r} "
+            f"but this coordinator speaks {CODE_SCHEMA_VERSION}; refusing "
+            "the worker — mixed schemas would silently mix incomparable "
+            "metrics"
+        )
+
+
+def _frame_error(frame: Dict, index: int) -> Exception:
+    """Turn a worker's error frame into the exception the caller raises."""
+    if frame.get("configuration"):
+        # Re-raise configuration mistakes as themselves so they render
+        # identically on every transport (the CLI turns ConfigurationError
+        # into a clean `error: ...` line).
+        return ConfigurationError(frame.get("message",
+                                            "task failed in worker"))
+    return WorkerCrashError(
+        f"task {frame.get('index', index)} failed in "
+        f"worker:\n{frame.get('error', '<no traceback>')}"
+    )
+
+
+class Transport:
+    """Base transport: configuration + a cumulative slot-replacement count."""
+
+    #: Registry name ("inline", "thread", ...), set by subclasses.
+    name = "inline"
+
+    def __init__(self) -> None:
+        #: Cumulative count of slot peers replaced after dying mid-task
+        #: (what the crash-recovery tests assert on).
+        self.restarts = 0
+
+    def open(self, slots: int) -> "TransportSession":
+        raise NotImplementedError
+
+
+class TransportSession:
+    """Protocol documented at module level; concrete sessions subclass."""
+
+    slots: int = 0
+
+    def submit(self, index: int, task: SweepTask) -> None:
+        raise NotImplementedError
+
+    def next_event(self) -> Tuple:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# Inline
+# --------------------------------------------------------------------------- #
+class _InlineSession(TransportSession):
+    """One synchronous in-process slot: submit stores, next_event runs."""
+
+    slots = 1
+
+    def __init__(self) -> None:
+        self._queued: Optional[Tuple[int, SweepTask]] = None
+
+    def submit(self, index: int, task: SweepTask) -> None:
+        self._queued = (index, task)
+
+    def next_event(self) -> Tuple:
+        index, task = self._queued  # type: ignore[misc]
+        self._queued = None
+        try:
+            return ("result", index, run_task(task))
+        except Exception as error:
+            # The exception object keeps its traceback; the scheduler
+            # re-raises it with the original frames intact.
+            return ("error", index, error)
+
+    def close(self) -> None:
+        # Don't pin graphs in the coordinator process beyond the sweep.
+        _build_graph.cache_clear()
+
+
+class InlineTransport(Transport):
+    """In-process execution in submission order (no pool, no pickling)."""
+
+    name = "inline"
+
+    def open(self, slots: int) -> _InlineSession:
+        del slots  # inline is always exactly one slot
+        return _InlineSession()
+
+
+# --------------------------------------------------------------------------- #
+# concurrent.futures pools (thread / process)
+# --------------------------------------------------------------------------- #
+class _PoolSession(TransportSession):
+    """Shared pool session: futures feed a completion-event queue.
+
+    The scheduler keeps at most ``slots`` tasks in flight, so the pool's
+    internal queue never grows beyond one task per worker — which is
+    exactly what gives the scheduler, not the pool, control of dispatch
+    order.
+    """
+
+    def __init__(self, pool_cls: Type, pool_kwargs: Dict, slots: int) -> None:
+        self.slots = slots
+        self._pool = pool_cls(max_workers=slots, **pool_kwargs)
+        self._events: "queue.Queue[Tuple]" = queue.Queue()
+        self._futures: set = set()
+
+    def submit(self, index: int, task: SweepTask) -> None:
+        future = self._pool.submit(run_task, task)
+        self._futures.add(future)
+        future.add_done_callback(
+            lambda done, bound_index=index: self._completed(bound_index, done))
+
+    def _completed(self, index: int, future) -> None:
+        self._futures.discard(future)
+        if future.cancelled():
+            return
+        error = future.exception()
+        if error is not None:
+            self._events.put(("error", index, error))
+        else:
+            self._events.put(("result", index, future.result()))
+
+    def next_event(self) -> Tuple:
+        return self._events.get()
+
+    def close(self) -> None:
+        for future in list(self._futures):
+            future.cancel()
+        self._pool.shutdown(wait=True)
+        _build_graph.cache_clear()
+
+
+class ThreadTransport(Transport):
+    """Thread-pool slots: completion order, shared memory, GIL-bound."""
+
+    name = "thread"
+
+    def open(self, slots: int) -> _PoolSession:
+        return _PoolSession(ThreadPoolExecutor, {}, slots)
+
+
+class ProcessTransport(Transport):
+    """The historical ``ProcessPoolExecutor`` fan-out.
+
+    The initializer clears fork-inherited graph-cache entries so workers
+    never pin stale graphs left by a previous in-process sweep.
+    """
+
+    name = "process"
+
+    def open(self, slots: int) -> _PoolSession:
+        return _PoolSession(ProcessPoolExecutor,
+                            {"initializer": _reset_worker_graph_cache}, slots)
+
+
+# --------------------------------------------------------------------------- #
+# Framed-JSON peers (subprocess pipes and TCP sockets)
+# --------------------------------------------------------------------------- #
+class _SubprocessPeer:
+    """One ``python -m repro.experiments.worker`` over stdio pipes."""
+
+    def __init__(self) -> None:
+        # The worker must be able to `import repro` even when the
+        # coordinator runs from a source checkout that is only on
+        # sys.path, not installed: prepend our package root.
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else package_root + os.pathsep + existing)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env,
+        )
+        self.reader = self.proc.stdout
+        self.writer = self.proc.stdin
+
+    def interrupt(self) -> None:
+        """Unblock a thread reading from this peer (rude, thread-safe)."""
+        with contextlib.suppress(OSError):
+            self.proc.kill()
+
+    def dispose(self, graceful: bool = True) -> None:
+        if graceful:
+            # EOF on stdin ends the worker loop; kill if it lingers.
+            with contextlib.suppress(OSError, ValueError):
+                self.proc.stdin.close()
+            try:
+                self.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                with contextlib.suppress(OSError):
+                    self.proc.kill()
+                self.proc.wait()
+        else:
+            with contextlib.suppress(OSError):
+                self.proc.kill()
+            self.proc.wait()
+        for stream in (self.proc.stdin, self.proc.stdout):
+            if stream is not None:
+                with contextlib.suppress(OSError, ValueError):
+                    stream.close()
+
+
+class _SocketPeer:
+    """One TCP connection to a ``repro-mis worker serve`` process."""
+
+    def __init__(self, address: Tuple[str, int],
+                 connect_timeout: float) -> None:
+        self.address = address
+        # The dial *and* the hello frame are bounded by connect_timeout (a
+        # peer that accepts but never says hello must not hang the
+        # coordinator); _dial_worker lifts the timeout once the handshake
+        # passed, because result frames legitimately block for as long as
+        # a task computes.
+        self.sock = socket.create_connection(address, timeout=connect_timeout)
+        self.reader = self.sock.makefile("rb")
+        self.writer = self.sock.makefile("wb")
+
+    @property
+    def origin(self) -> str:
+        return f"worker {self.address[0]}:{self.address[1]}"
+
+    def interrupt(self) -> None:
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+
+    def dispose(self, graceful: bool = True) -> None:
+        del graceful  # closing the connection is already the graceful form
+        for closer in (self.reader, self.writer, self.sock):
+            with contextlib.suppress(OSError, ValueError):
+                closer.close()
+
+
+class _FramedSession(TransportSession):
+    """Thread-per-slot session speaking the framed worker protocol.
+
+    Each slot is one coordinator-side thread driving one peer (a local
+    subprocess or a TCP connection).  Threads pull from a shared inbox —
+    so a requeued task is picked up by whichever slot frees first — and
+    push completion events to a shared queue.  A peer that dies mid-task
+    is replaced *before* the ``lost`` event is reported, so the slot's
+    fate (alive with a fresh peer, or permanently retired) is settled by
+    the time the scheduler decides whether to requeue.
+    """
+
+    def __init__(self, transport: Transport, slots: int,
+                 peers: Optional[List] = None) -> None:
+        self._transport = transport
+        self._inbox: "queue.Queue" = queue.Queue()
+        self._events: "queue.Queue[Tuple]" = queue.Queue()
+        self._closing = threading.Event()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._live = slots
+        self._retired = [False] * slots
+        self._peers: List = list(peers) if peers else [None] * slots
+        self._threads = [
+            threading.Thread(target=self._slot_main, args=(slot,),
+                             name=f"repro-transport-slot-{slot}", daemon=True)
+            for slot in range(slots)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # TransportSession surface
+    # ------------------------------------------------------------------ #
+    @property
+    def slots(self) -> int:
+        with self._lock:
+            return self._live
+
+    def submit(self, index: int, task: SweepTask) -> None:
+        self._inbox.put((index, task))
+
+    def next_event(self) -> Tuple:
+        return self._events.get()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._closing.set()
+        for _ in self._threads:
+            self._inbox.put(_SHUTDOWN)
+        # Graceful first: idle threads wake on their sentinel and shut
+        # their own peer down (EOF for subprocess workers, connection
+        # close for socket workers — which then loop back to accept).
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        stuck = [thread for thread in self._threads if thread.is_alive()]
+        if stuck:
+            # A thread is still blocked on an in-flight result frame:
+            # interrupt its peer so the read fails, then the closing flag
+            # makes the thread exit without requeueing.
+            with self._lock:
+                peers = [peer for peer in self._peers if peer is not None]
+            for peer in peers:
+                peer.interrupt()
+            for thread in stuck:
+                thread.join()
+        # Threads dispose their own peers on exit; sweep up any a retired
+        # slot left registered.
+        with self._lock:
+            leftovers = [peer for peer in self._peers if peer is not None]
+            self._peers = [None] * len(self._peers)
+        for peer in leftovers:
+            peer.dispose(graceful=False)
+
+    # ------------------------------------------------------------------ #
+    # Transport-specific hooks
+    # ------------------------------------------------------------------ #
+    def _make_peer(self, slot: int):
+        """Create (or re-create) the peer for *slot*.
+
+        Raises :class:`~repro.errors.ConfigurationError` for fatal setup
+        problems (schema mismatch, not-a-worker) and any other exception
+        when the slot simply cannot get a peer (worker gone) — the slot
+        is then retired.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Slot thread
+    # ------------------------------------------------------------------ #
+    def _set_peer(self, slot: int, peer) -> None:
+        with self._lock:
+            self._peers[slot] = peer
+
+    def _take_peer(self, slot: int):
+        with self._lock:
+            peer, self._peers[slot] = self._peers[slot], None
+        return peer
+
+    def _retire(self, slot: int) -> None:
+        with self._lock:
+            if not self._retired[slot]:
+                self._retired[slot] = True
+                self._live -= 1
+
+    def _drop_peer(self, slot: int, graceful: bool) -> None:
+        peer = self._take_peer(slot)
+        if peer is not None:
+            peer.dispose(graceful=graceful)
+
+    def _replace_peer(self, slot: int, index: int) -> bool:
+        """Get a fresh peer for *slot*; retire the slot if impossible.
+
+        Returns True when the slot is usable again.  On failure the
+        appropriate event for the task *index* has already been pushed.
+        The retire-then-report order matters: the scheduler re-reads
+        ``slots`` after every event, so a task requeued by the ``lost``
+        event can never be waiting for capacity that no longer exists.
+        """
+        try:
+            self._set_peer(slot, self._make_peer(slot))
+            return True
+        except ConfigurationError as error:
+            self._retire(slot)
+            self._events.put(("error", index, error))
+            return False
+        except Exception:
+            self._retire(slot)
+            self._events.put(("lost", index))
+            return False
+
+    def _slot_main(self, slot: int) -> None:
+        from repro.experiments.worker import read_frame, write_frame
+
+        try:
+            while not self._closing.is_set():
+                item = self._inbox.get()
+                if item is _SHUTDOWN:
+                    return
+                if self._closing.is_set():
+                    # Drop queued tasks during shutdown; keep draining
+                    # until this thread's sentinel arrives.
+                    continue
+                index, task = item
+                try:
+                    if self._peers[slot] is None and not self._replace_peer(
+                            slot, index):
+                        return
+                    peer = self._peers[slot]
+                    try:
+                        write_frame(peer.writer,
+                                    {"kind": "task", "index": index,
+                                     "task": task.to_json()})
+                        frame = read_frame(peer.reader)
+                    except (OSError, ValueError):
+                        frame = None
+                    if frame is None:
+                        # The peer died mid-task (kill, crash, OOM,
+                        # dropped connection) — or close() interrupted it.
+                        self._drop_peer(slot, graceful=False)
+                        if self._closing.is_set():
+                            return
+                        self._transport.restarts += 1
+                        if not self._replace_peer(slot, index):
+                            return
+                        self._events.put(("lost", index))
+                        continue
+                    if frame.get("kind") == "error":
+                        self._events.put(("error", index,
+                                          _frame_error(frame, index)))
+                        continue
+                    self._events.put(
+                        ("result", int(frame["index"]),
+                         MISRunResult.from_record(frame["result"])))
+                except BaseException as error:
+                    # Anything unexpected — a malformed frame shape, a
+                    # result record from_record rejects — must surface
+                    # as an error event, never die with the thread: a
+                    # dead slot with no event would leave the scheduler
+                    # blocked in next_event() forever.
+                    self._retire(slot)
+                    self._events.put(("error", index, error))
+                    return
+        finally:
+            self._drop_peer(slot, graceful=True)
+
+
+class _SubprocessSession(_FramedSession):
+    """Slots backed by local worker subprocesses (spawned lazily)."""
+
+    def _make_peer(self, slot: int) -> _SubprocessPeer:
+        from repro.experiments.worker import read_frame
+
+        peer = _SubprocessPeer()
+        try:
+            _check_hello(read_frame(peer.reader),
+                         f"worker subprocess (pid {peer.proc.pid})")
+        except ConfigurationError:
+            peer.dispose(graceful=False)
+            raise
+        return peer
+
+
+class SubprocessTransport(Transport):
+    """Crash-recovering worker subprocesses over stdio pipes."""
+
+    name = "subprocess"
+
+    def open(self, slots: int) -> _SubprocessSession:
+        return _SubprocessSession(self, slots)
+
+
+class _SocketSession(_FramedSession):
+    """Slots backed by TCP connections, one per configured worker."""
+
+    def __init__(self, transport: "SocketTransport",
+                 addresses: List[Tuple[str, int]], peers: List) -> None:
+        self._addresses = addresses
+        self._reconnect_attempts = transport.reconnect_attempts
+        self._reconnect_delay = transport.reconnect_delay
+        self._connect_timeout = transport.connect_timeout
+        super().__init__(transport, len(addresses), peers=peers)
+
+    def _make_peer(self, slot: int) -> _SocketPeer:
+        # Reconnect path only (initial connections are dialled eagerly by
+        # SocketTransport.open): if merely the connection died the worker
+        # answers again; if the worker process died the dial fails and
+        # the slot is retired — its tasks fail over to the other workers.
+        last_error: Optional[Exception] = None
+        for attempt in range(self._reconnect_attempts):
+            if attempt:
+                time.sleep(self._reconnect_delay)
+            try:
+                return _dial_worker(self._addresses[slot],
+                                    self._connect_timeout)
+            except ConfigurationError:
+                raise
+            except OSError as error:
+                last_error = error
+        raise WorkerCrashError(
+            f"worker {self._addresses[slot][0]}:{self._addresses[slot][1]} "
+            f"is gone ({last_error}); retiring its slot"
+        )
+
+
+def _dial_worker(address: Tuple[str, int],
+                 connect_timeout: float) -> _SocketPeer:
+    """Connect to one socket worker and validate its hello frame."""
+    from repro.experiments.worker import read_frame
+
+    peer = _SocketPeer(address, connect_timeout)
+    try:
+        _check_hello(read_frame(peer.reader), peer.origin)
+    except (ConfigurationError, OSError):
+        peer.dispose(graceful=False)
+        raise
+    peer.sock.settimeout(None)
+    return peer
+
+
+class SocketTransport(Transport):
+    """TCP cluster transport: one slot per ``repro-mis worker serve``.
+
+    *workers* is a ``host:port,host:port`` string or a sequence of such
+    addresses; when omitted, the :data:`SOCKET_WORKERS_ENV` environment
+    variable is consulted at open time.  Every worker is dialled (and its
+    schema handshake validated) *before* any task is dispatched, so a
+    misconfigured cluster is refused up front rather than half-way into a
+    grid.
+    """
+
+    name = "socket"
+
+    def __init__(self, workers: Union[None, str, Sequence[str]] = None,
+                 connect_timeout: float = 10.0,
+                 reconnect_attempts: int = 2,
+                 reconnect_delay: float = 0.2) -> None:
+        super().__init__()
+        self.workers = workers
+        self.connect_timeout = connect_timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+
+    def addresses(self) -> List[Tuple[str, int]]:
+        workers = self.workers
+        if workers is None:
+            workers = os.environ.get(SOCKET_WORKERS_ENV) or None
+        addresses = parse_worker_addresses(workers)
+        if not addresses:
+            raise ConfigurationError(
+                "socket transport needs worker addresses: pass --workers "
+                "HOST:PORT,... (serve them with 'repro-mis worker serve "
+                f"--listen HOST:PORT') or set {SOCKET_WORKERS_ENV}"
+            )
+        return addresses
+
+    def open(self, slots: int) -> _SocketSession:
+        del slots  # capacity == number of configured workers
+        addresses = self.addresses()
+        peers: List[_SocketPeer] = []
+        try:
+            for address in addresses:
+                try:
+                    peers.append(_dial_worker(address, self.connect_timeout))
+                except OSError as error:
+                    raise ConfigurationError(
+                        f"cannot reach worker {address[0]}:{address[1]} "
+                        f"({error}); is 'repro-mis worker serve' running "
+                        "there?"
+                    ) from error
+        except ConfigurationError:
+            for peer in peers:
+                peer.dispose(graceful=False)
+            raise
+        return _SocketSession(self, addresses, peers)
+
+
+#: Registry of selectable transports (the CLI's ``--transport`` choices).
+TRANSPORTS: Dict[str, Type[Transport]] = {
+    "inline": InlineTransport,
+    "thread": ThreadTransport,
+    "process": ProcessTransport,
+    "subprocess": SubprocessTransport,
+    "socket": SocketTransport,
+}
+
+
+def available_transports() -> List[str]:
+    """Transport names accepted by ``--transport`` / :func:`resolve_transport`."""
+    return sorted(TRANSPORTS)
+
+
+def resolve_transport(transport, jobs: int = 1) -> Transport:
+    """Turn a transport selector into a transport object.
+
+    ``None`` preserves the historical ``jobs``-driven choice — inline for
+    one worker, the process pool otherwise.  A string is looked up in
+    :data:`TRANSPORTS`; anything else is assumed to already be a
+    transport object and returned as-is.
+    """
+    if transport is None:
+        return InlineTransport() if jobs == 1 else ProcessTransport()
+    if isinstance(transport, str):
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport '{transport}'; known: "
+                f"{available_transports()}"
+            )
+        return TRANSPORTS[transport]()
+    return transport

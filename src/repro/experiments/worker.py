@@ -1,8 +1,18 @@
-"""Subprocess worker for :class:`~repro.experiments.backends.AsyncSubprocessBackend`.
+"""Framed-JSON task worker (stdio pipes or a TCP listener).
 
-Run as ``python -m repro.experiments.worker``.  The protocol is
-length-prefixed JSON over the stdio pipes: each frame is a 4-byte
-big-endian length followed by that many bytes of UTF-8 JSON.
+Run as ``python -m repro.experiments.worker`` to serve tasks over the
+stdio pipes (how :class:`~repro.experiments.transports
+.SubprocessTransport` spawns it), or with ``--listen HOST:PORT`` /
+``repro-mis worker serve --listen HOST:PORT`` to serve them over TCP for
+:class:`~repro.experiments.transports.SocketTransport` — the same loop,
+framing and failure semantics either way.
+
+The protocol is length-prefixed JSON: each frame is a 4-byte big-endian
+length followed by that many bytes of UTF-8 JSON.
+
+Worker → coordinator, once per connection (the handshake)::
+
+    {"kind": "hello", "schema": CODE_SCHEMA_VERSION, "pid": 4242}
 
 Coordinator → worker::
 
@@ -13,38 +23,62 @@ Worker → coordinator::
     {"kind": "result", "index": 7, "result": {...MISRunResult.to_record()...}}
     {"kind": "error",  "index": 7, "error": "<traceback text>"}
 
-EOF on stdin is the shutdown signal.  A task exception is reported as an
-``error`` frame (the worker survives and keeps serving); only an actual
-process death — which the coordinator detects as EOF on *its* end —
-triggers restart-and-requeue.
+The hello's schema version is :data:`~repro.experiments.store
+.CODE_SCHEMA_VERSION` — the same version that keys the results store —
+so a coordinator refuses workers whose metrics would not be comparable.
 
-The framing is deliberately transport-agnostic: the same worker loop works
-over a socket, which is what makes this backend the stepping stone to a
-cluster backend.
+EOF on the task stream is the shutdown signal (over TCP the worker then
+loops back to ``accept``, so a long-lived worker serves many sweeps).  A
+task exception is reported as an ``error`` frame (the worker survives and
+keeps serving); only an actual worker death — which the coordinator
+detects as EOF/reset on *its* end — triggers restart/reconnect-and-
+requeue.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import struct
 import sys
 import traceback
-from typing import Any, BinaryIO, Dict, Optional
+from typing import Any, BinaryIO, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.backends import WORKER_FAULT_DIR_ENV
+from repro.experiments.store import CODE_SCHEMA_VERSION
+from repro.experiments.transports import WORKER_FAULT_DIR_ENV
 from repro.experiments.executor import SweepTask, run_task
+
+
+def _read_exactly(stream: BinaryIO, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes, or ``None`` on EOF before that.
+
+    A single ``read(n)`` may legally return fewer than ``n`` bytes —
+    guaranteed on sockets once frames span TCP segments, possible on
+    pipes — so the read is looped until exactly-n or EOF.  An EOF
+    mid-frame (torn frame) also returns ``None``: to a frame reader a
+    peer that died mid-write looks the same as one that closed cleanly.
+    """
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
     """Read one length-prefixed JSON frame; ``None`` on clean/torn EOF."""
-    header = stream.read(4)
-    if header is None or len(header) < 4:
+    header = _read_exactly(stream, 4)
+    if header is None:
         return None
     (length,) = struct.unpack(">I", header)
-    payload = stream.read(length)
-    if payload is None or len(payload) < length:
+    payload = _read_exactly(stream, length)
+    if payload is None:
         return None
     return json.loads(payload.decode("utf-8"))
 
@@ -57,15 +91,22 @@ def write_frame(stream: BinaryIO, record: Dict[str, Any]) -> None:
     stream.flush()
 
 
+def hello_frame() -> Dict[str, Any]:
+    """The handshake frame a worker sends once per connection."""
+    return {"kind": "hello", "schema": CODE_SCHEMA_VERSION,
+            "pid": os.getpid()}
+
+
 def maybe_crash(task: SweepTask) -> None:
     """Test-only fault injection: die mid-task when a marker file says so.
 
-    When :data:`~repro.experiments.backends.WORKER_FAULT_DIR_ENV` names a
-    directory containing ``crash-run_seed-<seed>``, the marker is removed
-    and the process exits hard — *after* accepting the task but *before*
-    producing its result, exactly the window a real crash/kill/OOM hits.
-    Removing the marker first makes the fault one-shot: the retry of the
-    requeued task succeeds, which is what the recovery tests need.
+    When :data:`~repro.experiments.transports.WORKER_FAULT_DIR_ENV` names
+    a directory containing ``crash-run_seed-<seed>``, the marker is
+    removed and the process exits hard — *after* accepting the task but
+    *before* producing its result, exactly the window a real
+    crash/kill/OOM hits.  Removing the marker first makes the fault
+    one-shot: the retry of the requeued task succeeds, which is what the
+    recovery tests need.  Works identically for pipe and socket workers.
     """
     fault_dir = os.environ.get(WORKER_FAULT_DIR_ENV)
     if not fault_dir:
@@ -76,24 +117,23 @@ def maybe_crash(task: SweepTask) -> None:
         os._exit(17)
 
 
-def main() -> int:
-    """Serve tasks from stdin until EOF."""
-    stdin = sys.stdin.buffer
-    stdout = sys.stdout.buffer
+def serve_stream(reader: BinaryIO, writer: BinaryIO) -> None:
+    """Serve one framed task stream until EOF (pipe or socket alike)."""
+    write_frame(writer, hello_frame())
     while True:
-        frame = read_frame(stdin)
+        frame = read_frame(reader)
         if frame is None:
-            return 0
+            return
         task = SweepTask.from_json(frame["task"])
         maybe_crash(task)
         try:
             result = run_task(task)
         except Exception as error:
             # ``configuration`` lets the coordinator re-raise a
-            # ConfigurationError as itself (matching what the process
-            # pool's pickled exception would do), so the CLI renders it
-            # as a clean `error:` line on every backend.
-            write_frame(stdout, {
+            # ConfigurationError as itself (matching what an in-process
+            # transport would do), so the CLI renders it as a clean
+            # `error:` line on every transport.
+            write_frame(writer, {
                 "kind": "error",
                 "index": frame["index"],
                 "message": str(error),
@@ -101,8 +141,134 @@ def main() -> int:
                 "error": traceback.format_exc(),
             })
             continue
-        write_frame(stdout, {"kind": "result", "index": frame["index"],
+        write_frame(writer, {"kind": "result", "index": frame["index"],
                              "result": result.to_record()})
+
+
+def parse_listen_address(listen: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen address (port 0 = ephemeral)."""
+    host, separator, port_text = listen.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise ConfigurationError(
+            f"invalid listen address '{listen}': expected HOST:PORT "
+            "(e.g. 0.0.0.0:8750, port 0 for an ephemeral port)"
+        )
+    return host, int(port_text)
+
+
+def serve(listen: str, max_connections: Optional[int] = None) -> int:
+    """Serve the framed task protocol over TCP until interrupted.
+
+    Connections are served one at a time — one socket worker is one
+    execution slot; run several workers for more parallelism.  After a
+    coordinator disconnects the worker loops back to ``accept``, so one
+    long-lived worker serves any number of sweeps.  *max_connections*
+    bounds how many connections are served before returning (``None`` =
+    forever); tests and demos use it for a self-terminating worker.
+
+    The actual listening address is announced on stderr (``listening on
+    HOST:PORT``) so callers binding port 0 learn the ephemeral port.
+    """
+    host, port = parse_listen_address(listen)
+    server = socket.create_server((host, port))
+    try:
+        bound_host, bound_port = server.getsockname()[:2]
+        print(f"repro-mis worker: listening on {bound_host}:{bound_port}",
+              file=sys.stderr, flush=True)
+        served = 0
+        while max_connections is None or served < max_connections:
+            connection, peer_address = server.accept()
+            served += 1
+            with connection:
+                reader = connection.makefile("rb")
+                writer = connection.makefile("wb")
+                try:
+                    serve_stream(reader, writer)
+                except OSError:
+                    # The coordinator vanished mid-frame; back to accept.
+                    pass
+                except Exception as error:
+                    # A malformed frame (garbage bytes, JSON without a
+                    # task) must cost one connection, not the worker: a
+                    # donated long-lived worker never dies because one
+                    # peer misbehaved.
+                    print("repro-mis worker: dropping connection from "
+                          f"{peer_address[0]}:{peer_address[1]}: "
+                          f"{error!r}", file=sys.stderr, flush=True)
+                finally:
+                    for stream in (reader, writer):
+                        try:
+                            stream.close()
+                        except OSError:
+                            pass
+                print(f"repro-mis worker: coordinator "
+                      f"{peer_address[0]}:{peer_address[1]} disconnected",
+                      file=sys.stderr, flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def spawn_local_worker(extra_env: Optional[Dict[str, str]] = None,
+                       host: str = "127.0.0.1") -> Tuple[Any, str]:
+    """Spawn a local TCP worker on an ephemeral port (test/demo helper).
+
+    Starts ``python -m repro.experiments.worker --listen host:0``, waits
+    for the ``listening on HOST:PORT`` announcement, and returns
+    ``(Popen, "host:port")`` ready for ``--workers``/:class:`~repro
+    .experiments.transports.SocketTransport`.  A drain thread keeps the
+    worker's stderr from ever filling its pipe.  The caller owns the
+    process (kill + wait when done).
+    """
+    import re
+    import subprocess
+    import threading
+
+    env = os.environ.copy()
+    if extra_env:
+        env.update(extra_env)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.worker",
+         "--listen", f"{host}:0"],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    announcement = process.stderr.readline()
+    match = re.search(r"listening on [0-9.]+:(\d+)", announcement)
+    if not match:
+        process.kill()
+        process.wait()
+        raise RuntimeError(
+            f"worker failed to announce its port: {announcement!r}")
+    threading.Thread(target=process.stderr.read, daemon=True).start()
+    return process, f"{host}:{match.group(1)}"
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point: stdio worker by default, TCP worker with ``--listen``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mis-worker",
+        description="framed-JSON sweep-task worker (stdio or TCP)",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT", default=None,
+                        help="serve over TCP on this address instead of "
+                             "the stdio pipes (port 0 = ephemeral)")
+    parser.add_argument("--max-connections", type=int, default=None,
+                        metavar="N",
+                        help="exit after serving N connections "
+                             "(default: serve forever)")
+    args = parser.parse_args(argv)
+    if args.listen is not None:
+        try:
+            return serve(args.listen, max_connections=args.max_connections)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    serve_stream(sys.stdin.buffer, sys.stdout.buffer)
+    return 0
 
 
 if __name__ == "__main__":

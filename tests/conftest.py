@@ -8,6 +8,42 @@ import pytest
 from repro.graphs import generators
 
 
+@pytest.fixture(scope="session")
+def spawn_socket_worker():
+    """Factory spawning one TCP sweep worker on an ephemeral port.
+
+    Calling the factory returns ``(Popen, "127.0.0.1:PORT")`` once the
+    worker announced its listening address; *extra_env* lets the
+    crash-recovery suite arm fault-injection markers in the worker's
+    environment.  Every spawned worker is killed at session teardown.
+    """
+    from repro.experiments.worker import spawn_local_worker
+
+    spawned = []
+
+    def spawn(extra_env=None):
+        process, address = spawn_local_worker(extra_env)
+        spawned.append(process)
+        return process, address
+
+    yield spawn
+    for proc in spawned:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+@pytest.fixture(scope="session")
+def socket_workers(spawn_socket_worker):
+    """Two live, healthy socket workers: ``"127.0.0.1:P1,127.0.0.1:P2"``.
+
+    Session-scoped and shared by the equivalence matrix — socket workers
+    are built to serve any number of sweeps.  Tests that *kill* workers
+    must spawn their own via ``spawn_socket_worker`` instead.
+    """
+    return ",".join(spawn_socket_worker()[1] for _ in range(2))
+
+
 @pytest.fixture
 def small_gnp():
     """A fixed, moderately dense random graph."""

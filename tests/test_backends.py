@@ -1,10 +1,13 @@
 """Tests for the pluggable execution backends (repro.experiments.backends).
 
-The cross-backend byte-identity matrix lives in ``tests/test_executor.py``
-(it extends the historical jobs=1-vs-jobs=4 test); this file covers the
-backend layer itself: selection rules, the subprocess worker protocol, and
-the async backend's crash-recovery guarantee — kill a worker mid-task and
-the task is requeued, the sweep completes, and the results are
+Backends are now (scheduler × transport) compositions; the cross-backend
+byte-identity matrix lives in ``tests/test_executor.py`` (it extends the
+historical jobs=1-vs-jobs=4 test) and the transport/scheduler layers have
+their own suites (``test_transports.py``, ``test_schedulers.py``).  This
+file covers the backend facade itself: alias selection rules, CLI-style
+composition (``make_backend``), the framed worker protocol, and the
+subprocess backend's crash-recovery guarantee — kill a worker mid-task
+and the task is requeued, the sweep completes, and the results are
 byte-identical to a serial run.
 """
 
@@ -19,12 +22,16 @@ import pytest
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.experiments.backends import (
     BACKENDS,
+    SOCKET_WORKERS_ENV,
     WORKER_FAULT_DIR_ENV,
     AsyncSubprocessBackend,
+    ComposedBackend,
     ProcessBackend,
     SerialBackend,
+    SocketBackend,
     ThreadBackend,
     available_backends,
+    make_backend,
     resolve_backend,
 )
 from repro.experiments.executor import (iter_task_results, plan_sweep_tasks,
@@ -34,6 +41,13 @@ from repro.experiments.worker import read_frame, write_frame
 
 GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32],
             families=("gnp",), repetitions=2, seed=99)
+
+
+def enable_socket_backend(name, request, monkeypatch):
+    """Point the socket backend at the session worker pool when needed."""
+    if name == "socket":
+        monkeypatch.setenv(SOCKET_WORKERS_ENV,
+                           request.getfixturevalue("socket_workers"))
 
 
 class TestResolveBackend:
@@ -71,15 +85,92 @@ class TestResolveBackend:
     def test_available_backends_is_sorted(self):
         assert available_backends() == sorted(BACKENDS)
 
+    def test_aliases_compose_the_documented_pairs(self):
+        """The backend strings are (scheduler × transport) aliases."""
+        pairs = {"serial": ("fifo", "inline"), "thread": ("fifo", "thread"),
+                 "process": ("fifo", "process"),
+                 "async": ("fifo", "subprocess"),
+                 "socket": ("fifo", "socket")}
+        for alias, (scheduler, transport) in pairs.items():
+            backend = BACKENDS[alias](jobs=2)
+            assert backend.scheduler.name == scheduler
+            assert backend.transport.name == transport
+
+
+class TestMakeBackend:
+    """CLI-style composition: --backend/--scheduler/--transport/--workers."""
+
+    def test_all_none_defers_to_the_jobs_driven_default(self):
+        assert make_backend() is None
+
+    def test_backend_alias_alone(self):
+        backend = make_backend(backend="thread", jobs=3)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.jobs == 3
+
+    def test_scheduler_overrides_an_alias_ordering(self):
+        backend = make_backend(backend="process", scheduler="large-first",
+                               jobs=2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.scheduler.name == "large-first"
+        assert backend.transport.name == "process"
+
+    def test_scheduler_alone_keeps_the_jobs_driven_transport(self):
+        assert make_backend(scheduler="large-first",
+                            jobs=1).transport.name == "inline"
+        assert make_backend(scheduler="large-first",
+                            jobs=4).transport.name == "process"
+
+    def test_explicit_transport(self):
+        backend = make_backend(transport="thread", jobs=2)
+        assert isinstance(backend, ComposedBackend)
+        assert backend.name == "fifo+thread"
+
+    def test_workers_imply_the_socket_transport(self):
+        backend = make_backend(workers="127.0.0.1:1,127.0.0.1:2")
+        assert backend.transport.name == "socket"
+        assert backend.transport.workers == "127.0.0.1:1,127.0.0.1:2"
+
+    def test_workers_rejected_for_other_transports(self):
+        with pytest.raises(ConfigurationError, match="--workers"):
+            make_backend(backend="thread", workers="127.0.0.1:1")
+        with pytest.raises(ConfigurationError, match="--workers"):
+            make_backend(transport="process", workers="127.0.0.1:1")
+
+    def test_backend_plus_transport_conflict_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            make_backend(backend="async", transport="thread")
+        # Regression: the socket transport must not bypass the conflict
+        # check and silently drop the --backend half.
+        with pytest.raises(ConfigurationError, match="not both"):
+            make_backend(backend="thread", transport="socket")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            make_backend(backend="cluster")
+
+    def test_socket_backend_without_workers_fails_at_open_not_construct(
+            self, monkeypatch):
+        monkeypatch.delenv(SOCKET_WORKERS_ENV, raising=False)
+        backend = SocketBackend(jobs=2)  # construction stays lazy
+        tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                 repetitions=1, seed=1)
+        with pytest.raises(ConfigurationError, match="worker addresses"):
+            list(backend.submit_tasks(tasks))
+
 
 class TestBackendStreams:
     @pytest.mark.parametrize("name", sorted(BACKENDS))
     def test_empty_task_list_yields_nothing(self, name):
+        # No transport session is even opened for an empty grid, so the
+        # socket backend needs no live workers here.
         backend = BACKENDS[name](jobs=2)
         assert list(backend.submit_tasks([])) == []
 
     @pytest.mark.parametrize("name", sorted(BACKENDS))
-    def test_indices_address_the_submitted_list(self, name):
+    def test_indices_address_the_submitted_list(self, name, request,
+                                                monkeypatch):
+        enable_socket_backend(name, request, monkeypatch)
         tasks = plan_sweep_tasks(**GRID)
         backend = BACKENDS[name](jobs=2)
         reference = {index: run_task(task)
@@ -89,7 +180,9 @@ class TestBackendStreams:
             assert result.seed == reference[index].seed
 
     @pytest.mark.parametrize("name", sorted(BACKENDS))
-    def test_abandoning_the_stream_shuts_down_cleanly(self, name):
+    def test_abandoning_the_stream_shuts_down_cleanly(self, name, request,
+                                                      monkeypatch):
+        enable_socket_backend(name, request, monkeypatch)
         tasks = plan_sweep_tasks(**GRID)
         stream = iter_task_results(tasks, jobs=2, backend=name)
         next(stream)
@@ -119,6 +212,37 @@ class TestWorkerProtocol:
         assert read_frame(torn) is None
         assert read_frame(io.BytesIO(b"\x00\x00")) is None
         assert read_frame(io.BytesIO(b"")) is None
+
+    def test_short_reads_are_looped_not_mistaken_for_eof(self):
+        """Regression for the short-read bug: ``stream.read(n)`` may
+        legally return fewer than *n* bytes mid-stream — guaranteed on
+        sockets once frames span TCP segments, possible on pipes.  The
+        old reader treated any short read as a torn frame; feeding the
+        frames one byte at a time must reproduce every record."""
+        buffer = io.BytesIO()
+        records = [{"kind": "task", "index": i, "task": {"n": 16 + i}}
+                   for i in range(3)]
+        for record in records:
+            write_frame(buffer, record)
+        dribble = _DribbleStream(buffer.getvalue())
+        assert [read_frame(dribble) for _ in range(3)] == records
+        assert read_frame(dribble) is None  # then a clean EOF
+
+    def test_short_read_ending_in_eof_is_still_torn(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"kind": "task", "index": 9})
+        dribble = _DribbleStream(buffer.getvalue()[:-1])
+        assert read_frame(dribble) is None
+
+
+class _DribbleStream:
+    """A binary stream whose ``read`` returns at most one byte at a time."""
+
+    def __init__(self, data: bytes) -> None:
+        self._buffer = io.BytesIO(data)
+
+    def read(self, count: int) -> bytes:
+        return self._buffer.read(min(1, count))
 
 
 class TestAsyncCrashRecovery:

@@ -12,7 +12,9 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "awake_mis" in out and "E8" in out
-        assert "backends" in out and "async" in out
+        assert "backends" in out and "async" in out and "socket" in out
+        assert "schedulers" in out and "large-first" in out
+        assert "transports" in out and "subprocess" in out
 
     def test_figure(self, capsys):
         assert main(["figure"]) == 0
@@ -82,6 +84,70 @@ class TestCLI:
         default_out = capsys.readouterr().out
         assert main(argv + ["--backend", backend, "--jobs", "2"]) == 0
         assert capsys.readouterr().out == default_out
+
+    @pytest.mark.parametrize("extra", [["--scheduler", "large-first"],
+                                       ["--scheduler", "large-first",
+                                        "--jobs", "2"],
+                                       ["--scheduler", "large-first",
+                                        "--backend", "thread", "--jobs", "2"],
+                                       ["--transport", "thread",
+                                        "--jobs", "2"]])
+    def test_sweep_scheduler_and_transport_flags_never_change_output(
+            self, extra, capsys):
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + extra) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_sweep_over_socket_workers_matches_default(self, socket_workers,
+                                                       capsys):
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "socket",
+                            "--workers", socket_workers]) == 0
+        assert capsys.readouterr().out == default_out
+        # --workers alone implies the socket transport.
+        assert main(argv + ["--workers", socket_workers]) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                  "--scheduler", "smallest-first"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_workers_with_non_socket_transport_renders_error(self, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1", "--transport", "process",
+                     "--workers", "127.0.0.1:1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--workers" in err
+
+    def test_socket_backend_without_workers_renders_error(self, capsys,
+                                                          monkeypatch):
+        from repro.experiments.backends import SOCKET_WORKERS_ENV
+
+        monkeypatch.delenv(SOCKET_WORKERS_ENV, raising=False)
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1", "--backend", "socket"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "worker addresses" in err
+
+    def test_worker_without_subcommand_prints_usage(self, capsys):
+        assert main(["worker"]) == 2
+        assert "worker serve" in capsys.readouterr().err
+
+    def test_store_without_subcommand_prints_usage(self, capsys):
+        assert main(["store"]) == 2
+        assert "store merge" in capsys.readouterr().err
+
+    def test_worker_serve_bad_listen_address_renders_error(self, capsys):
+        assert main(["worker", "serve", "--listen", "nonsense"]) == 2
+        assert "invalid listen address" in capsys.readouterr().err
 
 
 class TestCLIFamilyErrors:

@@ -28,6 +28,15 @@ GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32],
             families=("gnp",), repetitions=2, seed=99)
 
 
+def _enable_socket(backend, request, monkeypatch):
+    """Point the socket backend at the session worker pool when needed."""
+    if backend == "socket":
+        from repro.experiments.backends import SOCKET_WORKERS_ENV
+
+        monkeypatch.setenv(SOCKET_WORKERS_ENV,
+                           request.getfixturevalue("socket_workers"))
+
+
 class TestPlanning:
     def test_task_count_is_the_grid_product(self):
         tasks = plan_sweep_tasks(**GRID)
@@ -216,23 +225,49 @@ class TestSerialParallelEquivalence:
 
     @pytest.mark.parametrize("jobs", [1, 4])
     @pytest.mark.parametrize(
-        "backend", [None, "serial", "thread", "process", "async"])
+        "backend", [None, "serial", "thread", "process", "async", "socket"])
     def test_sweep_rows_byte_identical_across_backends_and_jobs(
-            self, backend, jobs, serial_baseline):
+            self, backend, jobs, serial_baseline, request, monkeypatch):
         """The cross-backend equivalence matrix.
 
         Every backend × jobs combination must reproduce the serial rows,
         fits and their repr byte-for-byte — the grid's seeds are fixed at
         planning time, so execution placement can never leak into results.
+        ``socket`` runs against two live local workers.
         """
+        _enable_socket(backend, request, monkeypatch)
         sweep = run_sweep(**GRID, jobs=jobs, backend=backend)
         assert repr(sweep.rows()) == repr(serial_baseline.rows())
         assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
         assert sweep.all_verified and serial_baseline.all_verified
 
     @pytest.mark.parametrize(
-        "backend", ["serial", "thread", "process", "async"])
-    def test_stream_covers_every_task_on_every_backend(self, backend):
+        "backend", ["serial", "thread", "process", "async", "socket"])
+    @pytest.mark.parametrize("scheduler", ["fifo", "large-first"])
+    def test_sweep_rows_byte_identical_across_schedulers(
+            self, scheduler, backend, serial_baseline, request, monkeypatch):
+        """The scheduler × transport extension of the matrix.
+
+        Dispatch order (fifo vs large-first) is pure wall-clock policy:
+        composed with *any* transport — including the socket transport
+        with two live workers — rows and fits must stay byte-identical
+        to the serial reference, because every seed was derived at
+        planning time and arrivals are folded back into grid order.
+        """
+        from repro.experiments.backends import make_backend
+
+        _enable_socket(backend, request, monkeypatch)
+        composed = make_backend(backend=backend, scheduler=scheduler,
+                                jobs=2)
+        sweep = run_sweep(**GRID, jobs=2, backend=composed)
+        assert repr(sweep.rows()) == repr(serial_baseline.rows())
+        assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
+
+    @pytest.mark.parametrize(
+        "backend", ["serial", "thread", "process", "async", "socket"])
+    def test_stream_covers_every_task_on_every_backend(self, backend,
+                                                       request, monkeypatch):
+        _enable_socket(backend, request, monkeypatch)
         tasks = plan_sweep_tasks(**GRID)
         pairs = list(iter_task_results(tasks, jobs=2, backend=backend))
         assert sorted(t.run_seed for t, _ in pairs) == sorted(

@@ -1,0 +1,183 @@
+"""Tests for the scheduling policies (repro.experiments.schedulers).
+
+Schedulers own ordering, retry/requeue and crash-loop accounting; these
+tests drive them against a scripted fake transport session so every
+failure path (slot death, retirement, crash loops, capacity exhaustion)
+is exercised deterministically without real workers.  The byte-identity
+of scheduler × real-transport combinations is pinned by the equivalence
+matrix in ``tests/test_executor.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.executor import plan_sweep_tasks
+from repro.experiments.schedulers import (
+    SCHEDULERS,
+    FifoScheduler,
+    LargeFirstScheduler,
+    available_schedulers,
+    resolve_scheduler,
+)
+
+GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32, 64],
+            families=("gnp",), repetitions=2, seed=7)
+
+
+class FakeSession:
+    """Scripted transport session: every submit resolves immediately.
+
+    *failures* maps a task index to a list of event kinds to emit for its
+    successive submissions (e.g. ``{3: ["lost", "lost"]}`` loses task 3's
+    slot twice before letting it succeed).  *retire_after* retires one
+    slot per listed task index when that task is lost, shrinking
+    capacity like a dead socket worker does.
+    """
+
+    def __init__(self, slots=2, failures=None, retire_after=()):
+        self._slots = slots
+        self._failures = {index: list(kinds)
+                          for index, kinds in (failures or {}).items()}
+        self._retire_after = set(retire_after)
+        self._queue = []
+        self.submitted = []
+        self.closed = False
+
+    @property
+    def slots(self):
+        return self._slots
+
+    def submit(self, index, task):
+        self.submitted.append(index)
+        scripted = self._failures.get(index)
+        if scripted:
+            kind = scripted.pop(0)
+            if kind == "lost" and index in self._retire_after:
+                self._slots -= 1
+            self._queue.append((kind, index,
+                                RuntimeError(f"task {index} scripted error")
+                                if kind == "error" else None))
+            return
+        self._queue.append(("result", index, f"result-{index}"))
+
+    def next_event(self):
+        kind, index, payload = self._queue.pop(0)
+        if kind == "result":
+            return ("result", index, payload)
+        if kind == "error":
+            return ("error", index, payload)
+        return ("lost", index)
+
+    def close(self):
+        self.closed = True
+
+
+class TestOrderingPolicies:
+    def test_fifo_keeps_planned_order(self):
+        tasks = plan_sweep_tasks(**GRID)
+        assert FifoScheduler().order(tasks) == list(range(len(tasks)))
+
+    def test_large_first_dispatches_descending_n(self):
+        tasks = plan_sweep_tasks(**GRID)
+        order = LargeFirstScheduler().order(tasks)
+        sizes = [tasks[i].n for i in order]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_large_first_is_stable_on_ties(self):
+        """Equal-n tasks keep their planned relative order: dispatch is
+        deterministic even though it can never affect results."""
+        tasks = plan_sweep_tasks(**GRID)
+        order = LargeFirstScheduler().order(tasks)
+        for n in {task.n for task in tasks}:
+            indices = [i for i in order if tasks[i].n == n]
+            assert indices == sorted(indices)
+
+    def test_policies_cover_every_task_exactly_once(self):
+        tasks = plan_sweep_tasks(**GRID)
+        for cls in SCHEDULERS.values():
+            assert sorted(cls().order(tasks)) == list(range(len(tasks)))
+
+
+class TestDriverLoop:
+    def test_all_results_yielded_with_correct_indices(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=3)
+        pairs = list(FifoScheduler().run(tasks, session))
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        assert all(result == f"result-{index}" for index, result in pairs)
+
+    def test_lost_slot_requeues_the_task(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2, failures={3: ["lost"]})
+        pairs = list(FifoScheduler().run(tasks, session))
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        assert session.submitted.count(3) == 2  # original + requeue
+
+    def test_crash_loop_raises_after_max_attempts(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2, failures={0: ["lost"] * 10})
+        with pytest.raises(WorkerCrashError, match="crashed its worker"):
+            list(FifoScheduler(max_attempts=3).run(tasks, session))
+        assert session.submitted.count(0) == 3
+
+    def test_error_event_raises_the_payload(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2, failures={1: ["error"]})
+        with pytest.raises(RuntimeError, match="task 1 scripted error"):
+            list(FifoScheduler().run(tasks, session))
+
+    def test_all_slots_lost_raises_instead_of_hanging(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2,
+                              failures={0: ["lost"], 1: ["lost"]},
+                              retire_after=(0, 1))
+        with pytest.raises(WorkerCrashError,
+                           match="every execution slot was lost"):
+            list(FifoScheduler().run(tasks, session))
+
+    def test_surviving_slot_finishes_after_one_retires(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2, failures={2: ["lost"]},
+                              retire_after=(2,))
+        pairs = list(FifoScheduler().run(tasks, session))
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        assert session.slots == 1
+
+    def test_large_first_driver_yields_every_task(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2)
+        pairs = list(LargeFirstScheduler().run(tasks, session))
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        # Dispatch actually followed the policy.
+        dispatched_sizes = [tasks[i].n for i in session.submitted]
+        assert dispatched_sizes == sorted(dispatched_sizes, reverse=True)
+
+
+class TestResolveScheduler:
+    def test_none_means_fifo(self):
+        assert isinstance(resolve_scheduler(None), FifoScheduler)
+
+    def test_names_resolve_to_their_classes(self):
+        for name, cls in SCHEDULERS.items():
+            assert isinstance(resolve_scheduler(name), cls)
+
+    def test_objects_pass_through(self):
+        scheduler = LargeFirstScheduler()
+        assert resolve_scheduler(scheduler) is scheduler
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_scheduler("shortest-first")
+        message = str(excinfo.value)
+        assert "unknown scheduler 'shortest-first'" in message
+        for name in available_schedulers():
+            assert name in message
+
+    def test_available_schedulers_is_sorted(self):
+        assert available_schedulers() == sorted(SCHEDULERS)
+
+    def test_invalid_max_attempts_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            FifoScheduler(max_attempts=0)

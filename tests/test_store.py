@@ -20,7 +20,8 @@ from repro.experiments.executor import plan_sweep_tasks
 from repro.experiments.harness import MISRunResult, run_mis
 from repro.experiments.store import (CODE_SCHEMA_VERSION, ResultStore,
                                      ShardedResultStore, discover_shards,
-                                     load_sweep_result, open_store, task_key)
+                                     load_sweep_result, merge_stores,
+                                     open_store, task_key)
 from repro.experiments.sweeps import MetricAccumulator, run_sweep
 from repro.graphs.generators import by_name
 
@@ -527,6 +528,157 @@ class TestKillPointFuzz:
                       resume=True)
         # A refused store is never modified.
         assert path.read_bytes() == before
+
+
+class TestMergeStores:
+    """`repro-mis store merge`: compaction for long-lived stores."""
+
+    def _sweep_to(self, path, shards=None, **overrides):
+        grid = dict(GRID, **overrides)
+        store = open_store(path, shards=shards)
+        result = run_sweep(**grid, store=store, keep_runs=False)
+        store.close()
+        return result
+
+    def test_sharded_store_compacts_to_identical_single_file(self, tmp_path):
+        base = tmp_path / "sharded.jsonl"
+        live = self._sweep_to(base, shards=3)
+        merged = tmp_path / "merged.jsonl"
+        written = merge_stores([base], merged)
+        assert written == GRID_TASKS
+        header, rebuilt = load_sweep_result(merged)
+        assert header == open_store(base).header()
+        assert repr(rebuilt.rows()) == repr(live.rows())
+        assert rebuilt.fits("awake_max") == live.fits("awake_max")
+        # The merged store is a plain single-file store.
+        assert not discover_shards(merged)
+        assert len(ResultStore(merged)) == GRID_TASKS
+
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_any_shard_count_merges(self, tmp_path, shards):
+        base = tmp_path / "out.jsonl"
+        live = self._sweep_to(base, shards=shards)
+        merged = tmp_path / "merged.jsonl"
+        assert merge_stores([base], merged) == GRID_TASKS
+        _, rebuilt = load_sweep_result(merged)
+        assert repr(rebuilt.rows()) == repr(live.rows())
+
+    def test_merged_store_is_resumable(self, tmp_path):
+        """Resuming from the merged store re-executes nothing."""
+        base = tmp_path / "out.jsonl"
+        self._sweep_to(base, shards=2)
+        merged = tmp_path / "merged.jsonl"
+        merge_stores([base], merged)
+        executed = []
+        resumed = run_sweep(**GRID, store=ResultStore(merged), resume=True,
+                            keep_runs=False,
+                            progress=lambda task, *_: executed.append(task))
+        assert executed == []
+        assert repr(resumed.rows()) == repr(run_sweep(**GRID).rows())
+
+    def test_duplicate_records_across_sources_collapse(self, tmp_path):
+        """Two complete copies of the same sweep merge to one record per
+        task, not two."""
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        self._sweep_to(first)
+        self._sweep_to(second)
+        merged = tmp_path / "merged.jsonl"
+        assert merge_stores([first, second], merged) == GRID_TASKS
+        assert len(ResultStore(merged)) == GRID_TASKS
+
+    def test_partial_sources_merge_to_their_union(self, tmp_path):
+        """Single-file + sharded partial stores of one sweep combine."""
+        import itertools
+
+        full = tmp_path / "full.jsonl"
+        live = self._sweep_to(full)
+        # Split the full store's records across two new stores by parity.
+        header_line, *records = full.read_text(encoding="utf-8").splitlines()
+        parts = [tmp_path / "even.jsonl", tmp_path / "odd.jsonl"]
+        for part, keep in zip(parts, (itertools.cycle([True, False]),
+                                      itertools.cycle([False, True]))):
+            kept = [line for line, use in zip(records, keep) if use]
+            part.write_text("\n".join([header_line] + kept) + "\n",
+                            encoding="utf-8")
+        merged = tmp_path / "merged.jsonl"
+        assert merge_stores(parts, merged) == GRID_TASKS
+        _, rebuilt = load_sweep_result(merged)
+        assert repr(rebuilt.rows()) == repr(live.rows())
+
+    def test_mixed_sweep_configs_refused(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        self._sweep_to(first)
+        self._sweep_to(second, seed=123)
+        merged = tmp_path / "merged.jsonl"
+        with pytest.raises(ConfigurationError,
+                           match="different sweeps"):
+            merge_stores([first, second], merged)
+        assert not merged.exists()  # no half-written output left behind
+
+    def test_non_store_source_refused(self, tmp_path):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("hello\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a results store"):
+            merge_stores([bogus], tmp_path / "merged.jsonl")
+
+    def test_existing_output_refused(self, tmp_path):
+        source = tmp_path / "a.jsonl"
+        self._sweep_to(source)
+        occupied = tmp_path / "occupied.jsonl"
+        occupied.write_text("precious user data\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="refusing to overwrite"):
+            merge_stores([source], occupied)
+        assert occupied.read_text(encoding="utf-8") == "precious user data\n"
+
+    def test_empty_source_list_refused(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="at least one source"):
+            merge_stores([], tmp_path / "merged.jsonl")
+
+    def test_output_at_a_sharded_base_refused(self, tmp_path):
+        """Merging a sharded store onto its own base path would create a
+        single-file/sharded hybrid that open_store refuses to read —
+        the guard must catch it up front."""
+        base = tmp_path / "out.jsonl"
+        self._sweep_to(base, shards=2)
+        with pytest.raises(ConfigurationError, match="sharded store"):
+            merge_stores([base], base)
+        # The shards are untouched and still load.
+        _, rebuilt = load_sweep_result(base)
+        assert sum(cell.run_count for cell in rebuilt.cells) == GRID_TASKS
+
+    def test_cli_merge_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = str(tmp_path / "out.jsonl")
+        sweep_argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                      "--families", "gnp", "--repetitions", "1",
+                      "--seed", "3"]
+        assert main(sweep_argv + ["--output", base, "--shards", "2"]) == 0
+        capsys.readouterr()
+        merged = str(tmp_path / "merged.jsonl")
+        assert main(["store", "merge", base, "--output", merged]) == 0
+        assert "merged 1 store(s)" in capsys.readouterr().out
+        assert main(["report", merged]) == 0
+        report_out = capsys.readouterr().out
+        assert main(["report", base]) == 0
+        sharded_report = capsys.readouterr().out.replace(base, merged)
+        assert report_out == sharded_report
+
+    def test_cli_merge_mixed_configs_renders_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        for seed, path in (("3", first), ("4", second)):
+            assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                         "--repetitions", "1", "--seed", seed,
+                         "--output", path]) == 0
+        capsys.readouterr()
+        assert main(["store", "merge", first, second,
+                     "--output", str(tmp_path / "m.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestKeepRuns:

@@ -1,0 +1,397 @@
+"""Tests for the transport layer (repro.experiments.transports).
+
+Focus: the socket transport's failure modes — a worker process killed
+mid-task over TCP is requeued with byte-identical results, a handshake
+schema mismatch is refused, an abandoned run closes every connection —
+plus the transport-agnostic guarantees: exception-safe progress
+callbacks (a raising callback must not abandon in-flight workers or leak
+transports) and clean session teardown.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.experiments.backends import ComposedBackend, SocketBackend
+from repro.experiments.executor import iter_task_results, plan_sweep_tasks
+from repro.experiments.store import CODE_SCHEMA_VERSION
+from repro.experiments.sweeps import run_sweep
+from repro.experiments.transports import (
+    TRANSPORTS,
+    WORKER_FAULT_DIR_ENV,
+    SocketTransport,
+    available_transports,
+    parse_worker_addresses,
+    resolve_transport,
+)
+from repro.experiments.worker import write_frame
+
+GRID = dict(algorithms=["luby", "vt_mis"], sizes=[16, 32],
+            families=("gnp",), repetitions=2, seed=99)
+
+
+def _transport_threads():
+    """Names of live transport slot threads (leak detector)."""
+    return [thread.name for thread in threading.enumerate()
+            if thread.name.startswith("repro-transport-slot")]
+
+
+def _wait_for_no_transport_threads(timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _transport_threads():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked transport threads: {_transport_threads()}")
+
+
+class TestResolveTransport:
+    def test_none_is_jobs_driven(self):
+        assert resolve_transport(None, jobs=1).name == "inline"
+        assert resolve_transport(None, jobs=4).name == "process"
+
+    def test_names_resolve_to_their_classes(self):
+        for name, cls in TRANSPORTS.items():
+            assert isinstance(resolve_transport(name), cls)
+
+    def test_objects_pass_through(self):
+        transport = SocketTransport("127.0.0.1:1")
+        assert resolve_transport(transport) is transport
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_transport("carrier-pigeon")
+        message = str(excinfo.value)
+        assert "unknown transport 'carrier-pigeon'" in message
+        for name in available_transports():
+            assert name in message
+
+    def test_available_transports_is_sorted(self):
+        assert available_transports() == sorted(TRANSPORTS)
+
+
+class TestWorkerAddresses:
+    def test_comma_string_and_sequence_forms(self):
+        expected = [("hostA", 8750), ("hostB", 8751)]
+        assert parse_worker_addresses("hostA:8750,hostB:8751") == expected
+        assert parse_worker_addresses(["hostA:8750", "hostB:8751"]) == expected
+        assert parse_worker_addresses(" hostA:8750 , hostB:8751 ") == expected
+
+    def test_none_and_empty_mean_no_addresses(self):
+        assert parse_worker_addresses(None) == []
+        assert parse_worker_addresses("") == []
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", ":8750", "host:abc"])
+    def test_malformed_addresses_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="invalid worker address"):
+            parse_worker_addresses(bad)
+
+    def test_unreachable_worker_refused_up_front(self):
+        # Dial a port nothing listens on: the sweep must fail before any
+        # task is dispatched, naming the address.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # free the port again; nothing listens now
+        backend = SocketBackend(workers=f"127.0.0.1:{port}")
+        tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                 repetitions=1, seed=1)
+        with pytest.raises(ConfigurationError, match="cannot reach worker"):
+            list(backend.submit_tasks(tasks))
+
+
+class TestSocketEquivalenceAndReuse:
+    def test_sweep_byte_identical_to_serial(self, socket_workers):
+        serial = run_sweep(**GRID)
+        over_tcp = run_sweep(**GRID, backend=SocketBackend(
+            workers=socket_workers))
+        assert repr(over_tcp.rows()) == repr(serial.rows())
+        assert over_tcp.fits("awake_max") == serial.fits("awake_max")
+
+    def test_workers_serve_many_sweeps(self, socket_workers):
+        """Long-lived workers loop back to accept: two sweeps through the
+        same two worker processes, both byte-identical to serial."""
+        serial = run_sweep(**GRID)
+        for _ in range(2):
+            again = run_sweep(**GRID, backend=SocketBackend(
+                workers=socket_workers))
+            assert repr(again.rows()) == repr(serial.rows())
+
+    def test_large_first_over_sockets_matches_serial(self, socket_workers):
+        serial = run_sweep(**GRID)
+        sweep = run_sweep(**GRID, backend=ComposedBackend(
+            scheduler="large-first",
+            transport=SocketTransport(socket_workers)))
+        assert repr(sweep.rows()) == repr(serial.rows())
+
+
+class TestSocketFailureModes:
+    """The satellite suite: kill/refuse/abandon over TCP."""
+
+    def _arm_crash(self, tmp_path, task):
+        marker = tmp_path / f"crash-run_seed-{task.run_seed}"
+        marker.write_text("")
+        return marker
+
+    def test_worker_killed_mid_task_over_tcp_requeues_byte_identical(
+            self, tmp_path, spawn_socket_worker):
+        """A worker process dying mid-task over TCP costs nothing: the
+        dropped connection retires that slot (reconnect fails — the
+        process is gone), the task is requeued onto the surviving
+        worker, and the rows match serial byte-for-byte."""
+        serial = run_sweep(**GRID)
+        victim = plan_sweep_tasks(**GRID)[3]
+        marker = self._arm_crash(tmp_path, victim)
+        # Both workers are fault-armed: whichever one picks the victim
+        # task up dies.  The marker is one-shot, so the requeued task
+        # succeeds on the survivor.
+        fault_env = {WORKER_FAULT_DIR_ENV: str(tmp_path)}
+        workers = [spawn_socket_worker(extra_env=fault_env)
+                   for _ in range(2)]
+
+        backend = SocketBackend(workers=",".join(address
+                                                 for _, address in workers))
+        recovered = run_sweep(**GRID, backend=backend)
+
+        assert not marker.exists()  # the fault actually fired
+        # Exactly one worker process actually died (exit code 17), and
+        # its death was observed as a slot replacement attempt.
+        exit_codes = [proc.poll() for proc, _ in workers]
+        assert exit_codes.count(17) == 1
+        assert backend.worker_restarts >= 1
+        assert repr(recovered.rows()) == repr(serial.rows())
+        assert recovered.fits("awake_max") == serial.fits("awake_max")
+
+    def test_every_task_executes_exactly_once_despite_the_kill(
+            self, tmp_path, spawn_socket_worker):
+        tasks = plan_sweep_tasks(**GRID)
+        self._arm_crash(tmp_path, tasks[0])
+        fault_env = {WORKER_FAULT_DIR_ENV: str(tmp_path)}
+        addresses = [spawn_socket_worker(extra_env=fault_env)[1]
+                     for _ in range(2)]
+        backend = SocketBackend(workers=",".join(addresses))
+        pairs = list(iter_task_results(tasks, backend=backend))
+        assert sorted(t.run_seed for t, _ in pairs) == sorted(
+            t.run_seed for t in tasks)
+
+    def test_all_workers_dead_raises_instead_of_hanging(
+            self, tmp_path, spawn_socket_worker):
+        tasks = plan_sweep_tasks(**GRID)
+        for task in tasks[:2]:
+            self._arm_crash(tmp_path, task)
+        fault_env = {WORKER_FAULT_DIR_ENV: str(tmp_path)}
+        _, only_address = spawn_socket_worker(extra_env=fault_env)
+        backend = SocketBackend(workers=only_address, max_attempts=5)
+        with pytest.raises(WorkerCrashError,
+                           match="every execution slot was lost"):
+            list(backend.submit_tasks(tasks))
+
+    def test_handshake_schema_mismatch_is_refused(self):
+        """A worker speaking a different CODE_SCHEMA_VERSION must be
+        refused at dial time — mixed schemas would silently mix
+        incomparable metrics."""
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def impostor():
+            connection, _ = server.accept()
+            with connection:
+                writer = connection.makefile("wb")
+                write_frame(writer, {"kind": "hello",
+                                     "schema": CODE_SCHEMA_VERSION + 1000,
+                                     "pid": 0})
+                writer.close()
+                connection.recv(1)  # linger until the coordinator reacts
+
+        thread = threading.Thread(target=impostor, daemon=True)
+        thread.start()
+        try:
+            backend = SocketBackend(workers=f"127.0.0.1:{port}")
+            tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                     repetitions=1, seed=1)
+            with pytest.raises(ConfigurationError,
+                               match="refusing the worker"):
+                list(backend.submit_tasks(tasks))
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+    def test_non_worker_peer_is_refused(self):
+        """Something that accepts but never says hello is not a worker."""
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def mute():
+            connection, _ = server.accept()
+            with connection:
+                connection.makefile("wb").write(b"")  # say nothing
+                connection.recv(1)
+
+        thread = threading.Thread(target=mute, daemon=True)
+        thread.start()
+        try:
+            transport = SocketTransport(f"127.0.0.1:{port}",
+                                        connect_timeout=1.0)
+            backend = ComposedBackend(transport=transport)
+            tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                     repetitions=1, seed=1)
+            with pytest.raises(ConfigurationError):
+                list(backend.submit_tasks(tasks))
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+    def test_malformed_result_frame_raises_instead_of_hanging(self):
+        """A peer that handshakes fine but then answers with a frame the
+        coordinator cannot interpret must surface an error — a slot
+        thread dying silently would leave the scheduler blocked in
+        next_event() forever."""
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def liar():
+            connection, _ = server.accept()
+            with connection:
+                writer = connection.makefile("wb")
+                write_frame(writer, {"kind": "hello",
+                                     "schema": CODE_SCHEMA_VERSION,
+                                     "pid": 0})
+                reader = connection.makefile("rb")
+                from repro.experiments.worker import read_frame
+
+                read_frame(reader)  # accept the task...
+                # ...then answer with a result frame missing its body.
+                write_frame(writer, {"kind": "result", "index": 0})
+                connection.recv(1)  # linger until the coordinator reacts
+
+        thread = threading.Thread(target=liar, daemon=True)
+        thread.start()
+        try:
+            backend = SocketBackend(workers=f"127.0.0.1:{port}")
+            tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                     repetitions=1, seed=1)
+            with pytest.raises(KeyError):
+                list(backend.submit_tasks(tasks))
+            _wait_for_no_transport_threads()
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+    def test_worker_survives_a_garbage_connection(self, spawn_socket_worker):
+        """One misbehaving peer must cost one connection, not the
+        long-lived worker: after feeding it garbage frames, the same
+        worker still serves a real sweep."""
+        proc, address = spawn_socket_worker()
+        host, port = address.split(":")
+        with socket.create_connection((host, int(port)), timeout=5) as sock:
+            sock.recv(4096)  # its hello
+            sock.sendall(b"\x00\x00\x00\x04junk")  # framed non-JSON
+        time.sleep(0.1)
+        assert proc.poll() is None  # the worker did not die
+        serial = run_sweep(**GRID)
+        sweep = run_sweep(**GRID, backend=SocketBackend(workers=address))
+        assert repr(sweep.rows()) == repr(serial.rows())
+
+    def test_abandoned_run_closes_all_connections(self, socket_workers):
+        """Abandoning the result stream mid-sweep must tear down every
+        slot thread and connection — the workers go back to accepting
+        and immediately serve a fresh, byte-identical sweep."""
+        serial = run_sweep(**GRID)
+        tasks = plan_sweep_tasks(**GRID)
+        stream = iter_task_results(
+            tasks, backend=SocketBackend(workers=socket_workers))
+        next(stream)
+        stream.close()
+        _wait_for_no_transport_threads()
+        again = run_sweep(**GRID,
+                          backend=SocketBackend(workers=socket_workers))
+        assert repr(again.rows()) == repr(serial.rows())
+
+
+class TestProgressCallbackSafety:
+    """A raising progress callback must not leak workers or transports."""
+
+    @pytest.mark.parametrize("transport", ["thread", "subprocess", "socket"])
+    def test_raising_callback_shuts_transport_down_and_re_raises(
+            self, transport, request, monkeypatch):
+        if transport == "socket":
+            workers = request.getfixturevalue("socket_workers")
+            backend = SocketBackend(workers=workers)
+        else:
+            backend = ComposedBackend(transport=transport, jobs=2)
+        tasks = plan_sweep_tasks(**GRID)
+
+        class CallbackBoom(RuntimeError):
+            pass
+
+        calls = []
+
+        def progress(task, result, done, total):
+            calls.append(done)
+            if done == 2:
+                raise CallbackBoom("progress callback exploded")
+
+        with pytest.raises(CallbackBoom):
+            list(iter_task_results(tasks, jobs=2, progress=progress,
+                                   backend=backend))
+        assert calls  # the callback genuinely fired before raising
+        _wait_for_no_transport_threads()
+
+    def test_raising_callback_mid_sweep_keeps_store_resumable(
+            self, tmp_path, socket_workers):
+        """The sweep-level contract: results persisted before the
+        callback raised stay on disk, and resuming completes the grid
+        byte-identically to an uninterrupted run."""
+        from repro.experiments.store import ResultStore
+
+        serial = run_sweep(**GRID)
+        path = tmp_path / "out.jsonl"
+
+        def explode_after_three(task, result, done, total):
+            if done == 3:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(**GRID, store=ResultStore(path),
+                      progress=explode_after_three,
+                      backend=SocketBackend(workers=socket_workers))
+        _wait_for_no_transport_threads()
+
+        # The callback raised while the third result was in hand, so
+        # exactly the first two results made it to disk; resume executes
+        # only the remainder, byte-identically.
+        executed = []
+        resumed = run_sweep(
+            **GRID, store=ResultStore(path), resume=True,
+            progress=lambda task, *_: executed.append(task.run_seed),
+            backend=SocketBackend(workers=socket_workers))
+        assert repr(resumed.rows()) == repr(serial.rows())
+        assert len(executed) == len(plan_sweep_tasks(**GRID)) - 2
+
+    def test_subsequent_sweeps_unaffected_by_an_earlier_callback_crash(
+            self):
+        def explode(task, result, done, total):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(**GRID, jobs=2, backend="async", progress=explode)
+        _wait_for_no_transport_threads()
+        assert repr(run_sweep(**GRID, jobs=2, backend="async").rows()) == \
+            repr(run_sweep(**GRID).rows())
+
+
+class TestSubprocessTransportHygiene:
+    def test_no_threads_leak_after_a_normal_sweep(self):
+        run_sweep(**GRID, jobs=2, backend="async")
+        _wait_for_no_transport_threads()
+
+    def test_restart_counter_counts_replacements_only(self):
+        backend = ComposedBackend(transport="subprocess", jobs=2)
+        run_sweep(algorithms=["luby"], sizes=[16], repetitions=1, seed=1,
+                  backend=backend)
+        assert backend.worker_restarts == 0
