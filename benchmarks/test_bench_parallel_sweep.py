@@ -90,10 +90,13 @@ def test_bench_backend_matrix(repro_scale, bench_record):
     Byte-identity across combinations is asserted here too (a benchmark
     that silently computed different numbers would be meaningless); the
     timing spread — serial vs GIL-bound threads vs pool vs framed-JSON
-    subprocesses vs TCP workers, and fifo vs large-first dispatch — is
-    what the perf trajectory tracks.  The large-first rows are where the
-    straggler-tail win on skewed (ascending-n) grids shows up; the
-    ``socket`` rows run against two freshly served local workers.
+    subprocesses vs TCP workers, and fifo vs large-first vs cost-model
+    dispatch — is what the perf trajectory tracks.  The matrix iterates
+    ``available_schedulers()``, so new policies (cost-model landed this
+    way) get a row automatically.  The large-first/cost-model rows are
+    where the straggler-tail win on skewed (ascending-n) grids shows
+    up; the ``socket`` rows run against two freshly served local
+    workers.
     """
     from repro.experiments.backends import (ComposedBackend, SocketTransport,
                                             available_schedulers,

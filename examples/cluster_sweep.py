@@ -1,32 +1,38 @@
 """Running a multi-host sweep over the socket transport.
 
 The sweep executor's cluster path is the framed worker protocol served
-over TCP: every worker is one execution slot, the coordinator dials each
-one, and — because every task seed is derived up front — the resulting
-tables are byte-identical to a serial run, whatever the workers' timing.
+over TCP.  One worker *process* can serve many execution slots
+(``--slots N``): each slot is one coordinator connection handled by its
+own thread, and all slots share the process's read-only graph cache, so
+each ``(family, n, graph_seed)`` graph is built once per host rather
+than once per slot.  Because every task seed is derived up front, the
+resulting tables are byte-identical to a serial run, whatever the
+workers' timing.
 
 On real hardware you would run, on each worker host (one process per
-core you want to donate, one port each)::
+host, as many slots as you want to donate)::
 
-    repro-mis worker serve --listen 0.0.0.0:8750
-    repro-mis worker serve --listen 0.0.0.0:8751
+    repro-mis worker serve --listen 0.0.0.0:8750 --slots 4
 
-and on the coordinator::
+and on the coordinator (``host:port*K`` dials K connections — one per
+slot — to that worker; bracket IPv6 hosts as ``[::1]:8750``)::
 
     repro-mis sweep --algorithms awake_mis luby --sizes 256 512 1024 \
-        --repetitions 3 --seed 7 --scheduler large-first \
-        --backend socket --workers hostA:8750,hostA:8751,hostB:8750 \
+        --repetitions 3 --seed 7 --scheduler cost-model \
+        --backend socket --workers hostA:8750*4,hostB:8750*2 \
         --output results.jsonl
 
-(`--scheduler large-first` dispatches the big-n tasks first so the sweep
-does not end with one worker grinding the largest graph alone;
-``--output``/``--resume`` make a coordinator crash resumable.  A worker
-whose code schema differs is refused at dial time, and a worker lost
-mid-task fails over to the remaining ones.)
+(`--scheduler cost-model` dispatches tasks in descending *estimated*
+cost — family x algorithm x n, so a dense small graph outranks a sparse
+large one — which cuts the straggler tail on mixed grids;
+``large-first`` is the simpler descending-n variant.  ``--output``/
+``--resume`` make a coordinator crash resumable.  A worker whose code
+schema differs is refused at dial time, and a connection lost mid-task
+fails over to the remaining slots.)
 
 This example demonstrates the identical flow on one machine: it spawns
-two local worker processes on ephemeral ports, runs the same sweep once
-serially and once through the workers, and verifies the tables match.
+ONE local worker process serving two slots, runs the same sweep once
+serially and once through both slots, and verifies the tables match.
 """
 
 from __future__ import annotations
@@ -43,22 +49,21 @@ SWEEP = dict(algorithms=["awake_mis", "luby"], sizes=[32, 64, 128],
 
 
 def main() -> int:
-    workers = [spawn_local_worker() for _ in range(2)]
-    addresses = ",".join(address for _, address in workers)
-    print(f"serving 2 local workers: {addresses}")
+    process, address = spawn_local_worker(slots=2)
+    workers = f"{address}*2"
+    print(f"serving 1 local worker with 2 slots: --workers {workers}")
     try:
         serial = run_sweep(**SWEEP, keep_runs=False)
         clustered = run_sweep(
             **SWEEP, keep_runs=False,
-            backend=ComposedBackend(scheduler="large-first",
-                                    transport=SocketTransport(addresses)),
+            backend=ComposedBackend(scheduler="cost-model",
+                                    transport=SocketTransport(workers)),
         )
     finally:
-        for process, _ in workers:
-            process.kill()
-            process.wait()
+        process.kill()
+        process.wait()
     print(render_sweep(clustered,
-                       title="sweep over 2 socket workers (large-first)"))
+                       title="sweep over one 2-slot worker (cost-model)"))
     identical = repr(clustered.rows()) == repr(serial.rows())
     print(f"byte-identical to the serial run: {identical}")
     return 0 if identical else 1

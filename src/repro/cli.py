@@ -73,36 +73,47 @@ _STORE_EPILOG = (
     "under any shard count; compact shards later with 'repro-mis store "
     "merge'.  "
     "Execution: --backend serial|thread|process|async|socket picks a "
-    "(scheduler x transport) composition; --scheduler fifo|large-first "
-    "overrides the dispatch order (large-first sends big-n tasks out "
-    "first to cut the straggler tail) and --transport picks the byte "
-    "path explicitly.  Results are byte-identical for every combination; "
-    "the crash-recovering transports (async/subprocess, socket) restart "
+    "(scheduler x transport) composition; --scheduler "
+    "fifo|large-first|cost-model overrides the dispatch order "
+    "(large-first sends big-n tasks out first to cut the straggler "
+    "tail; cost-model ranks tasks by estimated cost from family x "
+    "algorithm x n, so a dense small graph outranks a sparse large one "
+    "on mixed grids) and --transport picks the byte path explicitly.  "
+    "Results are byte-identical for every combination; the "
+    "crash-recovering transports (async/subprocess, socket) restart "
     "or fail over dead workers and requeue their tasks.  "
     "Running a multi-host sweep: on each worker host run "
-    "'repro-mis worker serve --listen 0.0.0.0:8750' (one process per "
-    "core you want to donate, one port each), then on the coordinator "
-    "run 'repro-mis sweep ... --backend socket --workers "
-    "hostA:8750,hostA:8751,hostB:8750'.  Each worker is one execution "
-    "slot; the handshake refuses workers running incompatible code "
-    "(CODE_SCHEMA_VERSION), and a worker lost mid-task fails over to "
-    "the remaining workers with byte-identical results.  Add --output/"
-    "--resume so a coordinator crash resumes instead of re-running.  "
-    "Inspect a store later with 'repro-mis report FILE'."
+    "'repro-mis worker serve --listen 0.0.0.0:8750 --slots N' (one "
+    "process per host, N slots for N donated cores' worth of "
+    "connections; the slots share one read-only graph cache, so each "
+    "graph is built once per host instead of once per slot), then on "
+    "the coordinator run 'repro-mis sweep ... --backend socket "
+    "--workers hostA:8750*4,hostB:8750*2'.  A 'host:port*K' entry "
+    "dials K connections to that worker — one execution slot each; "
+    "bracket IPv6 hosts as '[::1]:8750'.  The handshake refuses "
+    "workers running incompatible code (CODE_SCHEMA_VERSION), and a "
+    "connection lost mid-task fails over to the remaining slots with "
+    "byte-identical results.  Add --output/--resume so a coordinator "
+    "crash resumes instead of re-running.  Inspect a store later with "
+    "'repro-mis report FILE'."
 )
 
 _BACKEND_HELP = ("execution backend for the grid (default: serial when "
                  "--jobs 1, process pool otherwise; async = crash-"
                  "recovering worker subprocesses, socket = TCP workers "
                  "via --workers)")
-_SCHEDULER_HELP = ("task dispatch order: fifo (planned order, default) or "
+_SCHEDULER_HELP = ("task dispatch order: fifo (planned order, default), "
                    "large-first (descending n, cuts the straggler tail on "
-                   "skewed grids); never changes results, only wall-clock")
+                   "skewed grids) or cost-model (descending estimated "
+                   "cost from family x algorithm x n — better on "
+                   "mixed-family grids); never changes results, only "
+                   "wall-clock")
 _TRANSPORT_HELP = ("execution transport (overrides the --backend alias): "
                    "inline|thread|process|subprocess|socket")
-_WORKERS_HELP = ("socket workers to dial, as HOST:PORT[,HOST:PORT...] "
-                 "(serve them with 'repro-mis worker serve'); implies "
-                 "--transport socket")
+_WORKERS_HELP = ("socket workers to dial, as HOST:PORT[*SLOTS][,...] "
+                 "(serve them with 'repro-mis worker serve'; '*K' dials "
+                 "K connections to one multi-slot worker, '[::1]:8750' "
+                 "for IPv6); implies --transport socket")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser,
@@ -215,23 +226,34 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser = worker_sub.add_parser(
         "serve",
         help="serve sweep tasks over TCP for --backend socket",
-        epilog="One worker process is one execution slot serving one "
-               "coordinator connection at a time; run several (one port "
-               "each) to donate several cores.  After a sweep finishes "
-               "the worker loops back to accepting, so long-lived "
-               "workers serve any number of sweeps.  The coordinator's "
-               "handshake refuses a worker whose CODE_SCHEMA_VERSION "
-               "differs from its own.",
+        epilog="--slots N serves up to N coordinator connections "
+               "concurrently from one worker process (dial them all "
+               "with --workers host:port*N on the coordinator).  The "
+               "slot threads share one graph cache: graphs are "
+               "read-only after construction, so each (family, n, seed) "
+               "graph is built once per worker process instead of once "
+               "per slot.  After a sweep finishes each slot loops back "
+               "to accepting, so long-lived workers serve any number of "
+               "sweeps.  The coordinator's handshake refuses a worker "
+               "whose CODE_SCHEMA_VERSION differs from its own, and "
+               "--max-connections only counts connections that actually "
+               "served a task — a garbage peer cannot burn a bounded "
+               "worker's budget.",
     )
     serve_parser.add_argument("--listen", metavar="HOST:PORT",
                               required=True,
                               help="address to listen on (port 0 = pick "
                                    "an ephemeral port and announce it on "
-                                   "stderr)")
+                                   "stderr; [IPV6]:PORT accepted)")
+    serve_parser.add_argument("--slots", type=int, default=1, metavar="N",
+                              help="serve up to N coordinator connections "
+                                   "concurrently, sharing one graph cache "
+                                   "(default: 1)")
     serve_parser.add_argument("--max-connections", type=int, default=None,
                               metavar="N",
-                              help="exit after serving N coordinator "
-                                   "connections (default: serve forever)")
+                              help="exit after N connections that served "
+                                   "at least one task (default: serve "
+                                   "forever)")
 
     store_parser = sub.add_parser(
         "store", help="maintenance tooling for results stores")
@@ -285,6 +307,10 @@ def _compose_backend(args: argparse.Namespace):
 
     Returns ``None`` when no flag was given, so the historical jobs-driven
     default (which also sees the grid size) still applies downstream.
+    Raises :class:`~repro.errors.ConfigurationError` for an unrunnable
+    composition — callers invoke this *before* opening the results store,
+    so e.g. ``--transport socket`` with no workers configured fails fast
+    without stamping a store header for a sweep that never starts.
     """
     return make_backend(backend=args.backend, scheduler=args.scheduler,
                         transport=args.transport, workers=args.workers,
@@ -325,6 +351,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.verified else 1
 
     if args.command == "sweep":
+        try:
+            backend = _compose_backend(args)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         store = _open_store(parser, args)
         try:
             sweep = run_sweep(
@@ -334,7 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 repetitions=args.repetitions,
                 seed=args.seed,
                 jobs=args.jobs,
-                backend=_compose_backend(args),
+                backend=backend,
                 keep_runs=False,
                 store=store,
                 resume=args.resume,
@@ -349,11 +380,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if sweep.all_verified else 1
 
     if args.command == "experiment":
+        try:
+            backend = _compose_backend(args)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         store = _open_store(parser, args)
         try:
             report = run_experiment(args.experiment_id, scale=args.scale,
                                     seed=args.seed, jobs=args.jobs,
-                                    backend=_compose_backend(args),
+                                    backend=backend,
                                     store=store, resume=args.resume)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -372,7 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.worker import serve
 
         try:
-            return serve(args.listen, max_connections=args.max_connections)
+            return serve(args.listen, max_connections=args.max_connections,
+                         slots=args.slots)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -36,6 +36,7 @@ objects) or :func:`make_backend` (CLI-style ``--backend``/``--scheduler``/
 
 from __future__ import annotations
 
+import os
 from typing import (Dict, Iterator, List, Optional, Protocol, Sequence,
                     Tuple, Type, Union)
 
@@ -43,7 +44,8 @@ from repro.errors import ConfigurationError
 from repro.experiments.executor import (BackendLike, SweepTask,
                                         resolve_jobs)
 from repro.experiments.harness import MISRunResult
-from repro.experiments.schedulers import (SCHEDULERS, FifoScheduler,
+from repro.experiments.schedulers import (SCHEDULERS, CostModelScheduler,
+                                          FifoScheduler,
                                           LargeFirstScheduler, Scheduler,
                                           available_schedulers,
                                           resolve_scheduler)
@@ -245,6 +247,13 @@ def make_backend(backend: Optional[str] = None,
     :func:`resolve_backend`.  A ``--backend`` alias provides the
     (scheduler, transport) pair; explicit ``--scheduler`` / ``--transport``
     override its halves; ``--workers`` implies the socket transport.
+
+    Socket misconfiguration fails *here*, not at session-open time: a
+    sweep that cannot possibly run (no ``--workers``, no
+    :data:`SOCKET_WORKERS_ENV`, or an unparseable worker list) must be
+    refused before the caller touches anything stateful — in particular
+    before the CLI stamps a results-store header for a sweep that never
+    starts.
     """
     if backend is not None and backend not in BACKENDS:
         raise ConfigurationError(
@@ -268,6 +277,19 @@ def make_backend(backend: Optional[str] = None,
     if backend is None and scheduler is None and transport is None:
         return None
     if backend == "socket" or transport == "socket":
+        # Validate the addresses that will actually be dialled — the
+        # explicit flag, or the env-var fallback SocketTransport would
+        # consult at open time.  A typo'd list (in either place) or an
+        # empty one must fail here, not mid-way through setup.
+        effective_workers = (workers if workers is not None
+                             else os.environ.get(SOCKET_WORKERS_ENV))
+        if not parse_worker_addresses(effective_workers):
+            raise ConfigurationError(
+                "socket transport needs worker addresses: pass --workers "
+                "HOST:PORT[*SLOTS],... (serve them with 'repro-mis worker "
+                "serve --listen HOST:PORT --slots N') or set the "
+                f"{SOCKET_WORKERS_ENV} environment variable"
+            )
         return ComposedBackend(scheduler=scheduler,
                                transport=SocketTransport(workers),
                                jobs=jobs, max_attempts=max_attempts)
@@ -282,7 +304,8 @@ __all__ = [
     "Backend", "ComposedBackend", "SerialBackend", "ThreadBackend",
     "ProcessBackend", "AsyncSubprocessBackend", "SocketBackend",
     "BACKENDS", "available_backends", "resolve_backend", "make_backend",
-    "Scheduler", "FifoScheduler", "LargeFirstScheduler", "SCHEDULERS",
+    "Scheduler", "FifoScheduler", "LargeFirstScheduler",
+    "CostModelScheduler", "SCHEDULERS",
     "available_schedulers", "resolve_scheduler",
     "Transport", "InlineTransport", "ThreadTransport", "ProcessTransport",
     "SubprocessTransport", "SocketTransport", "TRANSPORTS",

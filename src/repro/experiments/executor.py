@@ -178,7 +178,19 @@ def _build_graph(family: str, n: int, graph_seed: int):
     consecutive tasks in a worker's chunk usually share ``(family, n,
     graph_seed)``; caching avoids regenerating the graph once per
     algorithm.  Generators are deterministic, so cached and regenerated
-    graphs are identical — algorithms treat them as read-only.
+    graphs are identical.
+
+    Cache contract — **cached graphs are read-only**.  Every consumer of
+    :func:`run_task` may receive the same graph object as every other
+    consumer in the process, concurrently: a multi-slot socket worker
+    (``repro-mis worker serve --slots N``) runs N slot threads against
+    this one LRU precisely so each ``(family, n, graph_seed)`` graph is
+    built once per host instead of once per slot.  Algorithm adapters
+    must therefore never mutate the graph they are handed (pinned by
+    ``tests/test_executor.py::TestGraphCacheLifecycle``); anything
+    needing scratch state copies it out first.  ``lru_cache`` itself is
+    thread-safe — concurrent misses may build the same graph twice, but
+    both builds are identical and one simply wins the cache slot.
 
     Lifecycle: the coordinator clears its copy after every sweep, and each
     pool worker starts from an empty cache (``initializer=

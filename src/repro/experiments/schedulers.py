@@ -34,12 +34,26 @@ Policies
     single straggler slot; dispatching the large tasks first lets the
     small ones fill the tail — the classic LPT straggler cut on skewed
     grids.
+``cost-model`` (:class:`CostModelScheduler`)
+    LPT dispatch over a per-task cost *estimate* instead of raw ``n``.
+    ``n`` alone misranks mixed grids: per-round simulation cost tracks
+    the edge count, so a dense ``gnp_dense`` graph at n=64 costs more
+    than a tree at n=256, and awake-MIS vs Luby cost diverges with
+    family and degree rather than size (the node-averaged-awake
+    comparisons run exactly such mixed grids).  Costs come from a small
+    calibrated table — edges-proportional families carry their expected
+    degree, n-proportional families (trees, paths) a constant — times a
+    per-algorithm round factor.  When a family is missing from the
+    table the policy degrades to ``large-first`` rather than guessing a
+    scale.  Like every policy, it moves wall-clock only: results are
+    byte-identical to fifo.
 """
 
 from __future__ import annotations
 
 import collections
-from typing import Dict, Iterator, List, Sequence, Tuple, Type
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.experiments.harness import MISRunResult
@@ -157,10 +171,97 @@ class LargeFirstScheduler(Scheduler):
         return sorted(range(len(tasks)), key=lambda i: (-tasks[i].n, i))
 
 
+def _log_n(n: int) -> float:
+    """``log2(n)`` clamped away from the degenerate tiny-n cases."""
+    return math.log2(max(2, n))
+
+
+#: Expected average degree per graph family, the calibrated half of the
+#: cost model.  Per-round simulation cost is edge-driven, so an
+#: edges-proportional family (gnp, regular, powerlaw, ...) carries its
+#: generator's expected degree while the n-proportional families (trees,
+#: paths — one edge per node) carry the constant 2.  The clique's degree
+#: grows with n, hence the callables.  Values mirror the defaults baked
+#: into :data:`repro.graphs.generators.FAMILIES`; precision is not the
+#: point — only the *ranking* of estimated costs affects anything, and
+#: no ranking can affect a result byte.
+FAMILY_DEGREE_MODELS: Dict[str, Callable[[int], float]] = {
+    "gnp": lambda n: 8.0,
+    "gnp_dense": lambda n: 32.0,
+    "rgg": lambda n: 8.0,
+    "regular": lambda n: 6.0,
+    "powerlaw": lambda n: 6.0,       # BA attachments=3 -> avg degree ~6
+    "caveman": lambda n: 7.0,        # 8-cliques -> in-clique degree 7
+    "clique": lambda n: float(max(1, n - 1)),
+    "tree": lambda n: 2.0,
+    "path": lambda n: 2.0,
+    "cycle": lambda n: 2.0,
+    "star": lambda n: 2.0,
+}
+
+#: Round-count factor per algorithm: how many simulated rounds a run
+#: takes as a function of n.  Luby-style algorithms terminate in
+#: O(log n) rounds; the virtual-tree / LDT / awake-MIS constructions pay
+#: an extra log factor of machinery (their *awake* complexity is what is
+#: low, not their simulated round count); the naive greedy processes one
+#: node per round.  Unlisted algorithms fall back to the log-n default.
+ALGORITHM_ROUND_MODELS: Dict[str, Callable[[int], float]] = {
+    "luby": _log_n,
+    "rank_greedy": _log_n,
+    "naive_greedy": lambda n: float(max(1, n)),
+    "vt_mis": lambda n: _log_n(n) ** 2,
+    "ldt_mis": lambda n: _log_n(n) ** 2,
+    "awake_mis": lambda n: _log_n(n) ** 2,
+}
+
+
+def estimate_task_cost(task) -> Optional[float]:
+    """Estimated execution cost of one task, or ``None`` if unknown.
+
+    ``cost = n x expected_degree(family, n) x rounds(algorithm, n)`` —
+    i.e. edges processed per round times rounds.  An unknown *family*
+    returns ``None`` (the scheduler then falls back to ``large-first``
+    for the whole grid); an unknown *algorithm* just uses the log-n
+    round default, because the family/degree term dominates the skew the
+    model exists to capture.
+    """
+    degree_model = FAMILY_DEGREE_MODELS.get(task.family)
+    if degree_model is None:
+        return None
+    rounds_model = ALGORITHM_ROUND_MODELS.get(task.algorithm, _log_n)
+    return task.n * degree_model(task.n) * rounds_model(task.n)
+
+
+class CostModelScheduler(Scheduler):
+    """LPT dispatch over estimated cost: family × algorithm × n, not n alone.
+
+    ``large-first`` assumes cost is monotone in ``n``, which mixed-family
+    grids break: per-round cost tracks the *edge* count, so
+    ``gnp_dense`` at n=64 (~1024 edges, log² rounds for awake-MIS)
+    outweighs a tree at n=256 (255 edges) — under large-first the dense
+    graph would be parked near the tail and become the straggler.  This
+    policy sorts by :func:`estimate_task_cost` descending (ties in
+    planned order, so dispatch is deterministic); if any task's family
+    is missing from the calibration table the whole ordering degrades to
+    ``large-first`` rather than interleaving guessed and calibrated
+    scales.  Results can never depend on the estimate — seeds are fixed
+    at planning time — so a miscalibrated entry costs wall-clock only.
+    """
+
+    name = "cost-model"
+
+    def order(self, tasks: Sequence) -> List[int]:
+        costs = [estimate_task_cost(task) for task in tasks]
+        if any(cost is None for cost in costs):
+            return LargeFirstScheduler.order(self, tasks)
+        return sorted(range(len(tasks)), key=lambda i: (-costs[i], i))
+
+
 #: Registry of selectable scheduling policies (the CLI's ``--scheduler``).
 SCHEDULERS: Dict[str, Type[Scheduler]] = {
     "fifo": FifoScheduler,
     "large-first": LargeFirstScheduler,
+    "cost-model": CostModelScheduler,
 }
 
 

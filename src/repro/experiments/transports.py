@@ -46,9 +46,12 @@ Transports
     requeues the task and the sweep completes byte-identically.
 ``socket`` (:class:`SocketTransport`)
     The same framed-JSON worker protocol served over TCP: workers run
-    ``repro-mis worker serve --listen HOST:PORT`` (any host), the
-    coordinator dials each address and gets one slot per worker.  The
-    handshake carries :data:`~repro.experiments.store
+    ``repro-mis worker serve --listen HOST:PORT [--slots N]`` (any
+    host), the coordinator dials each address and gets one slot per
+    connection.  A ``host:port*K`` entry in the worker list dials K
+    independent connections to the same worker — the way to use a
+    worker serving ``--slots K``, whose slot threads share one graph
+    cache.  The handshake carries :data:`~repro.experiments.store
     .CODE_SCHEMA_VERSION`, so a coordinator refuses workers running
     incompatible code; a dropped connection is requeued exactly like a
     killed subprocess (with one reconnect attempt in case only the
@@ -96,10 +99,51 @@ SOCKET_WORKERS_ENV = "REPRO_WORKERS"
 _SHUTDOWN = object()
 
 
+def split_host_port(text: str) -> Tuple[str, int]:
+    """Parse ``host:port`` or bracketed ``[ipv6]:port`` into ``(host, port)``.
+
+    The bracketed form is how every other network tool spells an IPv6
+    endpoint (``[::1]:8750``); the brackets are stripped so the host can
+    go straight into :func:`socket.create_connection` /
+    :func:`socket.create_server`.  Raises :class:`ValueError` on anything
+    malformed — callers wrap it in their own
+    :class:`~repro.errors.ConfigurationError` with flag-specific advice.
+    """
+    if text.startswith("["):
+        host, bracket, port_text = text.partition("]:")
+        host = host[1:]
+        if not bracket or not host or not port_text.isdigit():
+            raise ValueError(
+                "expected [IPV6]:PORT with a numeric port (e.g. [::1]:8750)")
+        return host, int(port_text)
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise ValueError("expected HOST:PORT with a numeric port")
+    return host, int(port_text)
+
+
+def format_address(host: str, port: int) -> str:
+    """Render ``(host, port)`` the way the parsers accept it back.
+
+    IPv6 hosts get the ``[host]:port`` brackets so log lines can be
+    copy-pasted straight into ``--workers``/``--listen``.
+    """
+    return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+
 def parse_worker_addresses(
     workers: Union[None, str, Sequence[str]],
 ) -> List[Tuple[str, int]]:
-    """Parse ``"host:port,host:port"`` (or a sequence) into address pairs."""
+    """Parse ``"host:port,host:port"`` (or a sequence) into address pairs.
+
+    Each entry may carry a ``*K`` slot multiplier — ``host:port*4`` dials
+    four independent connections to the same worker, which is how a
+    multi-slot worker (``repro-mis worker serve --slots 4``) donates all
+    of its slots.  IPv6 hosts use the bracketed form: ``[::1]:8750*2``.
+    The returned list has one ``(host, port)`` pair per *connection*, so
+    downstream code (one transport slot per pair) needs no multiplier
+    awareness.
+    """
     if workers is None:
         return []
     if isinstance(workers, str):
@@ -108,13 +152,22 @@ def parse_worker_addresses(
         parts = [str(part).strip() for part in workers if str(part).strip()]
     addresses: List[Tuple[str, int]] = []
     for part in parts:
-        host, separator, port_text = part.rpartition(":")
-        if not separator or not host or not port_text.isdigit():
+        address_text, star, slots_text = part.partition("*")
+        if star and not (slots_text.isdigit() and int(slots_text) >= 1):
             raise ConfigurationError(
-                f"invalid worker address '{part}': expected HOST:PORT "
-                "(e.g. 127.0.0.1:8750)"
+                f"invalid worker address '{part}': the slot multiplier "
+                "after '*' must be a positive integer (e.g. host:8750*4 "
+                "for four connections to one multi-slot worker)"
             )
-        addresses.append((host, int(port_text)))
+        try:
+            host, port = split_host_port(address_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid worker address '{part}': expected HOST:PORT or "
+                "[IPV6]:PORT, optionally with a '*SLOTS' multiplier "
+                "(e.g. 127.0.0.1:8750, [::1]:8750, hostA:8750*4)"
+            ) from None
+        addresses.extend([(host, port)] * (int(slots_text) if star else 1))
     return addresses
 
 
@@ -357,7 +410,7 @@ class _SocketPeer:
 
     @property
     def origin(self) -> str:
-        return f"worker {self.address[0]}:{self.address[1]}"
+        return f"worker {format_address(self.address[0], self.address[1])}"
 
     def interrupt(self) -> None:
         with contextlib.suppress(OSError):
@@ -612,8 +665,8 @@ class _SocketSession(_FramedSession):
             except OSError as error:
                 last_error = error
         raise WorkerCrashError(
-            f"worker {self._addresses[slot][0]}:{self._addresses[slot][1]} "
-            f"is gone ({last_error}); retiring its slot"
+            f"worker {format_address(*self._addresses[slot])} is gone "
+            f"({last_error}); retiring its slot"
         )
 
 
@@ -633,14 +686,18 @@ def _dial_worker(address: Tuple[str, int],
 
 
 class SocketTransport(Transport):
-    """TCP cluster transport: one slot per ``repro-mis worker serve``.
+    """TCP cluster transport: one slot per dialled worker connection.
 
     *workers* is a ``host:port,host:port`` string or a sequence of such
-    addresses; when omitted, the :data:`SOCKET_WORKERS_ENV` environment
-    variable is consulted at open time.  Every worker is dialled (and its
-    schema handshake validated) *before* any task is dispatched, so a
+    addresses — each optionally carrying a ``*K`` multiplier that dials K
+    independent connections to the same (multi-slot) worker; when
+    omitted, the :data:`SOCKET_WORKERS_ENV` environment variable is
+    consulted at open time.  Every connection is dialled (and its schema
+    handshake validated) *before* any task is dispatched, so a
     misconfigured cluster is refused up front rather than half-way into a
-    grid.
+    grid.  Each connection keeps the independent reconnect/retire/requeue
+    semantics — a multi-slot worker losing one connection fails only that
+    slot over.
     """
 
     name = "socket"
@@ -663,8 +720,9 @@ class SocketTransport(Transport):
         if not addresses:
             raise ConfigurationError(
                 "socket transport needs worker addresses: pass --workers "
-                "HOST:PORT,... (serve them with 'repro-mis worker serve "
-                f"--listen HOST:PORT') or set {SOCKET_WORKERS_ENV}"
+                "HOST:PORT[*SLOTS],... (serve them with 'repro-mis worker "
+                "serve --listen HOST:PORT --slots N') or set the "
+                f"{SOCKET_WORKERS_ENV} environment variable"
             )
         return addresses
 
@@ -678,7 +736,7 @@ class SocketTransport(Transport):
                     peers.append(_dial_worker(address, self.connect_timeout))
                 except OSError as error:
                     raise ConfigurationError(
-                        f"cannot reach worker {address[0]}:{address[1]} "
+                        f"cannot reach worker {format_address(*address)} "
                         f"({error}); is 'repro-mis worker serve' running "
                         "there?"
                     ) from error

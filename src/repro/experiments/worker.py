@@ -33,21 +33,36 @@ task exception is reported as an ``error`` frame (the worker survives and
 keeps serving); only an actual worker death — which the coordinator
 detects as EOF/reset on *its* end — triggers restart/reconnect-and-
 requeue.
+
+``--slots N`` makes one TCP worker process serve up to N coordinator
+connections concurrently, one slot thread per connection (the handshake
+is unchanged — it happens once per connection).  The point of slots over
+N separate worker processes is the shared process state: every slot
+thread reads the same :func:`~repro.experiments.executor._build_graph`
+LRU, so N slots on one host build each ``(family, n, graph_seed)`` graph
+once instead of N times.  That sharing is safe because graphs are
+**read-only** after construction — algorithms never mutate them (pinned
+by ``tests/test_executor.py``).  Slot threads still share the GIL; for
+CPU-bound parallelism across cores, run several worker processes (each
+with as many slots as you like).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import socket
 import struct
 import sys
+import threading
 import traceback
-from typing import Any, BinaryIO, Dict, Optional, Tuple
+from typing import Any, BinaryIO, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.store import CODE_SCHEMA_VERSION
-from repro.experiments.transports import WORKER_FAULT_DIR_ENV
+from repro.experiments.transports import (WORKER_FAULT_DIR_ENV,
+                                          format_address, split_host_port)
 from repro.experiments.executor import SweepTask, run_task
 
 
@@ -97,16 +112,32 @@ def hello_frame() -> Dict[str, Any]:
             "pid": os.getpid()}
 
 
-def maybe_crash(task: SweepTask) -> None:
+class _InjectedConnectionDeath(Exception):
+    """Raised by :func:`maybe_crash` to kill one connection, not the process.
+
+    Only fault injection raises it; the multi-slot serve loop turns it
+    into an abrupt connection close, which the coordinator observes as a
+    peer death (EOF mid-task) exactly like a killed single-slot worker.
+    """
+
+
+def maybe_crash(task: SweepTask, scope: str = "process") -> None:
     """Test-only fault injection: die mid-task when a marker file says so.
 
     When :data:`~repro.experiments.transports.WORKER_FAULT_DIR_ENV` names
     a directory containing ``crash-run_seed-<seed>``, the marker is
-    removed and the process exits hard — *after* accepting the task but
-    *before* producing its result, exactly the window a real
-    crash/kill/OOM hits.  Removing the marker first makes the fault
-    one-shot: the retry of the requeued task succeeds, which is what the
-    recovery tests need.  Works identically for pipe and socket workers.
+    removed and the fault fires — *after* accepting the task but *before*
+    producing its result, exactly the window a real crash/kill/OOM hits.
+    Removing the marker first makes the fault one-shot: the retry of the
+    requeued task succeeds, which is what the recovery tests need.  Works
+    identically for pipe and socket workers.
+
+    *scope* picks what dies.  ``"process"`` (single-slot workers, stdio
+    workers) exits hard with code 17 — the historical behaviour the
+    crash-recovery suites assert on.  ``"connection"`` (multi-slot
+    workers, where one slot cannot take the process down without killing
+    its siblings) raises :class:`_InjectedConnectionDeath`, which the
+    serve loop turns into an abrupt close of just that connection.
     """
     fault_dir = os.environ.get(WORKER_FAULT_DIR_ENV)
     if not fault_dir:
@@ -114,18 +145,34 @@ def maybe_crash(task: SweepTask) -> None:
     marker = os.path.join(fault_dir, f"crash-run_seed-{task.run_seed}")
     if os.path.exists(marker):
         os.unlink(marker)
+        if scope == "connection":
+            raise _InjectedConnectionDeath(
+                f"fault marker for run_seed {task.run_seed}")
         os._exit(17)
 
 
-def serve_stream(reader: BinaryIO, writer: BinaryIO) -> None:
-    """Serve one framed task stream until EOF (pipe or socket alike)."""
+def serve_stream(reader: BinaryIO, writer: BinaryIO,
+                 fault_scope: str = "process",
+                 stats: Optional[Dict[str, int]] = None) -> int:
+    """Serve one framed task stream until EOF (pipe or socket alike).
+
+    Returns the number of task frames handled.  *stats*, when given, has
+    its ``"tasks"`` entry updated incrementally — so a caller watching a
+    stream that dies mid-connection (garbage frames, a vanished peer)
+    can still tell whether the peer ever proved itself with a valid task
+    frame; :func:`serve` uses that for its ``max_connections`` budget.
+    """
+    handled = 0
     write_frame(writer, hello_frame())
     while True:
         frame = read_frame(reader)
         if frame is None:
-            return
+            return handled
         task = SweepTask.from_json(frame["task"])
-        maybe_crash(task)
+        handled += 1
+        if stats is not None:
+            stats["tasks"] = handled
+        maybe_crash(task, scope=fault_scope)
         try:
             result = run_task(task)
         except Exception as error:
@@ -146,96 +193,210 @@ def serve_stream(reader: BinaryIO, writer: BinaryIO) -> None:
 
 
 def parse_listen_address(listen: str) -> Tuple[str, int]:
-    """Parse a ``HOST:PORT`` listen address (port 0 = ephemeral)."""
-    host, separator, port_text = listen.rpartition(":")
-    if not separator or not host or not port_text.isdigit():
+    """Parse a ``HOST:PORT`` / ``[IPV6]:PORT`` listen address (port 0 =
+    ephemeral)."""
+    try:
+        return split_host_port(listen)
+    except ValueError:
         raise ConfigurationError(
-            f"invalid listen address '{listen}': expected HOST:PORT "
-            "(e.g. 0.0.0.0:8750, port 0 for an ephemeral port)"
-        )
-    return host, int(port_text)
+            f"invalid listen address '{listen}': expected HOST:PORT or "
+            "[IPV6]:PORT (e.g. 0.0.0.0:8750, [::1]:8750; port 0 for an "
+            "ephemeral port)"
+        ) from None
 
 
-def serve(listen: str, max_connections: Optional[int] = None) -> int:
+def serve(listen: str, max_connections: Optional[int] = None,
+          slots: int = 1,
+          on_listening: Optional[Callable[[str, int], None]] = None) -> int:
     """Serve the framed task protocol over TCP until interrupted.
 
-    Connections are served one at a time — one socket worker is one
-    execution slot; run several workers for more parallelism.  After a
-    coordinator disconnects the worker loops back to ``accept``, so one
-    long-lived worker serves any number of sweeps.  *max_connections*
-    bounds how many connections are served before returning (``None`` =
-    forever); tests and demos use it for a self-terminating worker.
+    *slots* is how many coordinator connections are served concurrently:
+    each accepted connection gets a slot thread running
+    :func:`serve_stream` over the unchanged framed protocol, and the
+    accept loop stops handing out connections while all slots are busy.
+    All slot threads share the process's
+    :func:`~repro.experiments.executor._build_graph` LRU — graphs are
+    read-only, so N slots build each ``(family, n, graph_seed)`` once
+    instead of N times.  After a coordinator disconnects, its slot frees
+    and the worker keeps accepting, so one long-lived worker serves any
+    number of sweeps.
+
+    *max_connections* bounds how many connections are served before
+    returning (``None`` = forever); tests and demos use it for a
+    self-terminating worker.  Only connections that prove themselves —
+    deliver at least one valid task frame after the hello — count
+    toward the budget: a port-scanner, a garbage peer or a coordinator
+    that refused our schema and hung up must not permanently consume a
+    bounded worker's capacity.
 
     The actual listening address is announced on stderr (``listening on
-    HOST:PORT``) so callers binding port 0 learn the ephemeral port.
+    HOST:PORT``) so callers binding port 0 learn the ephemeral port;
+    *on_listening*, when given, receives ``(host, port)`` as well (for
+    in-process callers that cannot watch stderr).
     """
     host, port = parse_listen_address(listen)
-    server = socket.create_server((host, port))
-    try:
-        bound_host, bound_port = server.getsockname()[:2]
-        print(f"repro-mis worker: listening on {bound_host}:{bound_port}",
-              file=sys.stderr, flush=True)
-        served = 0
-        while max_connections is None or served < max_connections:
-            connection, peer_address = server.accept()
-            served += 1
+    if not isinstance(slots, int) or isinstance(slots, bool) or slots < 1:
+        raise ConfigurationError(
+            f"invalid slots value {slots!r}: need a positive int (the "
+            "number of coordinator connections served concurrently)"
+        )
+    family = socket.AF_INET6 if ":" in host else socket.AF_INET
+    server = socket.create_server((host, port), family=family)
+    lock = threading.Lock()
+    state = {"served": 0, "closing": False}
+    capacity = threading.BoundedSemaphore(slots)
+    threads: List[threading.Thread] = []
+    # A single-slot worker dies whole on an injected fault (the historical
+    # exit-17 the crash suites assert on); in a multi-slot worker one slot
+    # cannot take its siblings down, so the fault kills just the connection.
+    fault_scope = "process" if slots == 1 else "connection"
+    interrupted = False
+
+    def _exhausted() -> bool:
+        return (max_connections is not None
+                and state["served"] >= max_connections)
+
+    def _serve_connection(connection: socket.socket, peer: str) -> None:
+        stats = {"tasks": 0}
+        try:
             with connection:
                 reader = connection.makefile("rb")
                 writer = connection.makefile("wb")
                 try:
-                    serve_stream(reader, writer)
+                    serve_stream(reader, writer, fault_scope=fault_scope,
+                                 stats=stats)
+                except _InjectedConnectionDeath as death:
+                    # Test-only: drop this connection abruptly (no result
+                    # frame) so the coordinator sees a peer death.
+                    print(f"repro-mis worker: fault injection killed the "
+                          f"connection from {peer}: {death}",
+                          file=sys.stderr, flush=True)
                 except OSError:
-                    # The coordinator vanished mid-frame; back to accept.
-                    pass
+                    pass  # the coordinator vanished mid-frame
                 except Exception as error:
                     # A malformed frame (garbage bytes, JSON without a
                     # task) must cost one connection, not the worker: a
                     # donated long-lived worker never dies because one
                     # peer misbehaved.
                     print("repro-mis worker: dropping connection from "
-                          f"{peer_address[0]}:{peer_address[1]}: "
-                          f"{error!r}", file=sys.stderr, flush=True)
+                          f"{peer}: {error!r}", file=sys.stderr, flush=True)
                 finally:
                     for stream in (reader, writer):
-                        try:
+                        with contextlib.suppress(OSError):
                             stream.close()
-                        except OSError:
-                            pass
-                print(f"repro-mis worker: coordinator "
-                      f"{peer_address[0]}:{peer_address[1]} disconnected",
-                      file=sys.stderr, flush=True)
+            print(f"repro-mis worker: coordinator {peer} disconnected",
+                  file=sys.stderr, flush=True)
+        finally:
+            with lock:
+                if stats["tasks"] > 0:
+                    state["served"] += 1
+                if _exhausted():
+                    # The accept loop polls `closing` (closing the
+                    # listener from here would not wake a blocked accept).
+                    state["closing"] = True
+            capacity.release()
+
+    try:
+        bound_host, bound_port = server.getsockname()[:2]
+        print("repro-mis worker: listening on "
+              f"{format_address(bound_host, bound_port)}",
+              file=sys.stderr, flush=True)
+        if slots > 1:
+            print(f"repro-mis worker: serving up to {slots} concurrent "
+                  "connections (shared graph cache)",
+                  file=sys.stderr, flush=True)
+        if on_listening is not None:
+            on_listening(bound_host, bound_port)
+        # Accept with a short timeout rather than blocking forever: a slot
+        # thread reaching the connection budget can only *flag* shutdown
+        # (closing the listener from another thread does not interrupt a
+        # blocked accept), so the loop has to come up for air to see it.
+        server.settimeout(0.25)
+        accepted = 0
+        while True:
+            with lock:
+                if state["closing"] or _exhausted():
+                    break
+            capacity.acquire()
+            with lock:
+                if state["closing"] or _exhausted():
+                    capacity.release()
+                    break
+            try:
+                connection, peer_address = server.accept()
+            except socket.timeout:
+                capacity.release()
+                continue
+            except OSError:
+                # The server socket died under us; stop serving.
+                capacity.release()
+                break
+            # Timeout mode must not leak onto the connection: result
+            # frames legitimately block for as long as a task computes.
+            connection.settimeout(None)
+            accepted += 1
+            # Keep only live threads around for the shutdown join — a
+            # serve-forever worker must not accumulate one dead Thread
+            # object per connection it ever served.
+            threads[:] = [t for t in threads if t.is_alive()]
+            thread = threading.Thread(
+                target=_serve_connection,
+                args=(connection,
+                      format_address(peer_address[0], peer_address[1])),
+                name=f"repro-worker-slot-{accepted}", daemon=True)
+            threads.append(thread)
+            thread.start()
     except KeyboardInterrupt:
-        pass
+        interrupted = True
     finally:
-        server.close()
+        with lock:
+            state["closing"] = True
+        with contextlib.suppress(OSError):
+            server.close()
+        # Let in-flight connections finish so a returned serve() means no
+        # slot thread is still running (the worker-side leak detector
+        # pins this).  On a graceful exit (connection budget reached) the
+        # wait is unbounded — an in-flight task may legitimately compute
+        # for longer than any fixed timeout, and its coordinator will
+        # disconnect when done, exactly like the historical sequential
+        # serve loop.  Only an operator interrupt gives up after a grace
+        # period and abandons the daemon threads.
+        for thread in threads:
+            thread.join(timeout=5.0 if interrupted else None)
     return 0
 
 
 def spawn_local_worker(extra_env: Optional[Dict[str, str]] = None,
-                       host: str = "127.0.0.1") -> Tuple[Any, str]:
+                       host: str = "127.0.0.1", slots: int = 1,
+                       max_connections: Optional[int] = None,
+                       ) -> Tuple[Any, str]:
     """Spawn a local TCP worker on an ephemeral port (test/demo helper).
 
-    Starts ``python -m repro.experiments.worker --listen host:0``, waits
-    for the ``listening on HOST:PORT`` announcement, and returns
-    ``(Popen, "host:port")`` ready for ``--workers``/:class:`~repro
-    .experiments.transports.SocketTransport`.  A drain thread keeps the
+    Starts ``python -m repro.experiments.worker --listen host:0`` (plus
+    ``--slots``/``--max-connections`` when given), waits for the
+    ``listening on HOST:PORT`` announcement, and returns ``(Popen,
+    "host:port")`` ready for ``--workers``/:class:`~repro.experiments
+    .transports.SocketTransport` — append ``*K`` to the address to dial
+    all K slots of a multi-slot worker.  A drain thread keeps the
     worker's stderr from ever filling its pipe.  The caller owns the
     process (kill + wait when done).
     """
     import re
     import subprocess
-    import threading
 
     env = os.environ.copy()
     if extra_env:
         env.update(extra_env)
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.experiments.worker",
-         "--listen", f"{host}:0"],
-        stderr=subprocess.PIPE, text=True, env=env,
-    )
+    command = [sys.executable, "-m", "repro.experiments.worker",
+               "--listen", f"{host}:0"]
+    if slots != 1:
+        command += ["--slots", str(slots)]
+    if max_connections is not None:
+        command += ["--max-connections", str(max_connections)]
+    process = subprocess.Popen(command, stderr=subprocess.PIPE, text=True,
+                               env=env)
     announcement = process.stderr.readline()
-    match = re.search(r"listening on [0-9.]+:(\d+)", announcement)
+    match = re.search(r"listening on \S+:(\d+)", announcement)
     if not match:
         process.kill()
         process.wait()
@@ -255,15 +416,21 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--listen", metavar="HOST:PORT", default=None,
                         help="serve over TCP on this address instead of "
-                             "the stdio pipes (port 0 = ephemeral)")
+                             "the stdio pipes (port 0 = ephemeral, "
+                             "[IPV6]:PORT accepted)")
+    parser.add_argument("--slots", type=int, default=1, metavar="N",
+                        help="serve up to N coordinator connections "
+                             "concurrently, sharing one graph cache "
+                             "(default: 1; TCP mode only)")
     parser.add_argument("--max-connections", type=int, default=None,
                         metavar="N",
-                        help="exit after serving N connections "
-                             "(default: serve forever)")
+                        help="exit after N connections that served at "
+                             "least one task (default: serve forever)")
     args = parser.parse_args(argv)
     if args.listen is not None:
         try:
-            return serve(args.listen, max_connections=args.max_connections)
+            return serve(args.listen, max_connections=args.max_connections,
+                         slots=args.slots)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -15,14 +15,17 @@ def spawn_socket_worker():
     Calling the factory returns ``(Popen, "127.0.0.1:PORT")`` once the
     worker announced its listening address; *extra_env* lets the
     crash-recovery suite arm fault-injection markers in the worker's
-    environment.  Every spawned worker is killed at session teardown.
+    environment, and *slots*/*max_connections* pass straight through to
+    ``repro-mis worker serve``.  Every spawned worker is killed at
+    session teardown.
     """
     from repro.experiments.worker import spawn_local_worker
 
     spawned = []
 
-    def spawn(extra_env=None):
-        process, address = spawn_local_worker(extra_env)
+    def spawn(extra_env=None, slots=1, max_connections=None):
+        process, address = spawn_local_worker(
+            extra_env, slots=slots, max_connections=max_connections)
         spawned.append(process)
         return process, address
 
@@ -42,6 +45,20 @@ def socket_workers(spawn_socket_worker):
     must spawn their own via ``spawn_socket_worker`` instead.
     """
     return ",".join(spawn_socket_worker()[1] for _ in range(2))
+
+
+@pytest.fixture(scope="session")
+def multislot_socket_worker(spawn_socket_worker):
+    """One worker process serving two slots: ``"127.0.0.1:PORT*2"``.
+
+    The ``*2`` multiplier makes the coordinator dial both slots of the
+    single process, exercising the shared-graph-cache path the
+    equivalence matrix pins against serial.  Session-scoped for the same
+    reason as ``socket_workers``; tests that kill connections or the
+    process must spawn their own.
+    """
+    _, address = spawn_socket_worker(slots=2)
+    return f"{address}*2"
 
 
 @pytest.fixture

@@ -158,6 +158,56 @@ class TestMakeBackend:
         with pytest.raises(ConfigurationError, match="worker addresses"):
             list(backend.submit_tasks(tasks))
 
+    def test_make_backend_socket_without_workers_fails_fast(
+            self, monkeypatch):
+        """The CLI-composition path must refuse an unrunnable socket
+        selection immediately — naming both the flag and the env var —
+        instead of deferring to session-open time (by which point the
+        CLI has already stamped a results-store header)."""
+        monkeypatch.delenv(SOCKET_WORKERS_ENV, raising=False)
+        for selector in (dict(transport="socket"), dict(backend="socket")):
+            with pytest.raises(ConfigurationError) as excinfo:
+                make_backend(**selector)
+            message = str(excinfo.value)
+            assert "--workers" in message
+            assert SOCKET_WORKERS_ENV in message
+
+    def test_make_backend_socket_env_var_satisfies_the_fail_fast_check(
+            self, monkeypatch):
+        monkeypatch.setenv(SOCKET_WORKERS_ENV, "127.0.0.1:1")
+        backend = make_backend(transport="socket")
+        assert backend.transport.name == "socket"
+
+    def test_make_backend_rejects_malformed_workers_eagerly(self):
+        with pytest.raises(ConfigurationError,
+                           match="invalid worker address"):
+            make_backend(workers="127.0.0.1:notaport")
+        with pytest.raises(ConfigurationError,
+                           match="invalid worker address"):
+            make_backend(transport="socket", workers="host:8750*0")
+
+    def test_make_backend_rejects_malformed_env_workers_eagerly(
+            self, monkeypatch):
+        """The env-var fallback is validated as eagerly as the flag: a
+        garbage REPRO_WORKERS must fail at composition time, not after
+        the CLI has stamped a results-store header."""
+        monkeypatch.setenv(SOCKET_WORKERS_ENV, "garbage")
+        with pytest.raises(ConfigurationError,
+                           match="invalid worker address"):
+            make_backend(transport="socket")
+
+    def test_make_backend_rejects_empty_workers_eagerly(self, monkeypatch):
+        # An explicit-but-empty --workers must not slip past the
+        # fail-fast check just because it is not None.
+        monkeypatch.delenv(SOCKET_WORKERS_ENV, raising=False)
+        with pytest.raises(ConfigurationError, match="worker addresses"):
+            make_backend(transport="socket", workers="")
+
+    def test_make_backend_composes_cost_model(self):
+        backend = make_backend(scheduler="cost-model", jobs=2)
+        assert backend.scheduler.name == "cost-model"
+        assert backend.transport.name == "process"
+
 
 class TestBackendStreams:
     @pytest.mark.parametrize("name", sorted(BACKENDS))

@@ -90,6 +90,9 @@ class TestCLI:
                                         "--jobs", "2"],
                                        ["--scheduler", "large-first",
                                         "--backend", "thread", "--jobs", "2"],
+                                       ["--scheduler", "cost-model"],
+                                       ["--scheduler", "cost-model",
+                                        "--backend", "thread", "--jobs", "2"],
                                        ["--transport", "thread",
                                         "--jobs", "2"]])
     def test_sweep_scheduler_and_transport_flags_never_change_output(
@@ -136,6 +139,49 @@ class TestCLI:
                      "--repetitions", "1", "--backend", "socket"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "worker addresses" in err
+
+    def test_socket_without_workers_fails_fast_naming_flag_and_env(
+            self, tmp_path, capsys, monkeypatch):
+        """The fail-fast satellite: --transport socket with neither
+        --workers nor REPRO_WORKERS must error out *before* the results
+        store is touched, and the message must name both ways to fix
+        it."""
+        from repro.experiments.backends import SOCKET_WORKERS_ENV
+
+        monkeypatch.delenv(SOCKET_WORKERS_ENV, raising=False)
+        out_path = tmp_path / "never-created.jsonl"
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1", "--transport", "socket",
+                     "--output", str(out_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--workers" in err
+        assert SOCKET_WORKERS_ENV in err
+        # Fail-fast means no store header was stamped for a sweep that
+        # never started.
+        assert not out_path.exists()
+
+    def test_sweep_over_multislot_worker_matches_default(
+            self, multislot_socket_worker, capsys):
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--scheduler", "cost-model",
+                            "--workers", multislot_socket_worker]) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_worker_serve_invalid_slots_renders_error(self, capsys):
+        assert main(["worker", "serve", "--listen", "127.0.0.1:0",
+                     "--slots", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "slots" in err
+
+    def test_worker_serve_invalid_listen_address_renders_error(self,
+                                                               capsys):
+        assert main(["worker", "serve", "--listen", "[::1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid listen address" in err
 
     def test_worker_without_subcommand_prints_usage(self, capsys):
         assert main(["worker"]) == 2

@@ -208,6 +208,31 @@ class TestGraphCacheLifecycle:
         _reset_worker_graph_cache()
         assert _build_graph.cache_info().currsize == 0
 
+    def test_cached_graphs_are_shared_and_never_mutated(self):
+        """The cache contract multi-slot workers rely on: every run_task
+        for the same ``(family, n, graph_seed)`` gets the *same* graph
+        object (one build per process, however many slots consume it),
+        and no algorithm mutates it — nodes, edges and node count must
+        be bit-identical after every algorithm ran on it."""
+        from repro.experiments.executor import _build_graph
+        from repro.experiments.harness import available_algorithms
+
+        _build_graph.cache_clear()
+        graph = _build_graph("gnp", 24, 5)
+        assert _build_graph.cache_info().misses == 1
+        nodes = sorted(graph.nodes())
+        edges = sorted(tuple(sorted(edge)) for edge in graph.edges())
+        for run_seed, algorithm in enumerate(available_algorithms()):
+            run_task(SweepTask(algorithm=algorithm, family="gnp", n=24,
+                               graph_seed=5, run_seed=run_seed))
+            assert sorted(graph.nodes()) == nodes
+            assert sorted(tuple(sorted(edge))
+                          for edge in graph.edges()) == edges
+        # Every task hit the cached object; nothing was rebuilt.
+        assert _build_graph.cache_info().misses == 1
+        assert _build_graph("gnp", 24, 5) is graph
+        _build_graph.cache_clear()
+
 
 @pytest.fixture(scope="module")
 def serial_baseline():
@@ -243,16 +268,18 @@ class TestSerialParallelEquivalence:
 
     @pytest.mark.parametrize(
         "backend", ["serial", "thread", "process", "async", "socket"])
-    @pytest.mark.parametrize("scheduler", ["fifo", "large-first"])
+    @pytest.mark.parametrize("scheduler",
+                             ["fifo", "large-first", "cost-model"])
     def test_sweep_rows_byte_identical_across_schedulers(
             self, scheduler, backend, serial_baseline, request, monkeypatch):
         """The scheduler × transport extension of the matrix.
 
-        Dispatch order (fifo vs large-first) is pure wall-clock policy:
-        composed with *any* transport — including the socket transport
-        with two live workers — rows and fits must stay byte-identical
-        to the serial reference, because every seed was derived at
-        planning time and arrivals are folded back into grid order.
+        Dispatch order (fifo vs large-first vs cost-model) is pure
+        wall-clock policy: composed with *any* transport — including the
+        socket transport with two live workers — rows and fits must stay
+        byte-identical to the serial reference, because every seed was
+        derived at planning time and arrivals are folded back into grid
+        order.
         """
         from repro.experiments.backends import make_backend
 
@@ -260,6 +287,24 @@ class TestSerialParallelEquivalence:
         composed = make_backend(backend=backend, scheduler=scheduler,
                                 jobs=2)
         sweep = run_sweep(**GRID, jobs=2, backend=composed)
+        assert repr(sweep.rows()) == repr(serial_baseline.rows())
+        assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
+
+    @pytest.mark.parametrize("scheduler",
+                             ["fifo", "large-first", "cost-model"])
+    def test_multislot_worker_byte_identical_to_serial(
+            self, scheduler, serial_baseline, multislot_socket_worker):
+        """The ``socket --slots 2`` rows of the matrix: one worker
+        *process* serving two concurrent connections (slot threads
+        sharing a single graph cache) must reproduce the serial rows and
+        fits byte-for-byte under every scheduling policy."""
+        from repro.experiments.backends import ComposedBackend
+        from repro.experiments.transports import SocketTransport
+
+        backend = ComposedBackend(
+            scheduler=scheduler,
+            transport=SocketTransport(multislot_socket_worker), jobs=2)
+        sweep = run_sweep(**GRID, jobs=2, backend=backend)
         assert repr(sweep.rows()) == repr(serial_baseline.rows())
         assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
 

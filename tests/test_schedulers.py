@@ -13,12 +13,14 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError, WorkerCrashError
-from repro.experiments.executor import plan_sweep_tasks
+from repro.experiments.executor import SweepTask, plan_sweep_tasks
 from repro.experiments.schedulers import (
     SCHEDULERS,
+    CostModelScheduler,
     FifoScheduler,
     LargeFirstScheduler,
     available_schedulers,
+    estimate_task_cost,
     resolve_scheduler,
 )
 
@@ -98,6 +100,83 @@ class TestOrderingPolicies:
         tasks = plan_sweep_tasks(**GRID)
         for cls in SCHEDULERS.values():
             assert sorted(cls().order(tasks)) == list(range(len(tasks)))
+
+
+def _task(algorithm="luby", family="gnp", n=64, graph_seed=1, run_seed=2):
+    return SweepTask(algorithm=algorithm, family=family, n=n,
+                     graph_seed=graph_seed, run_seed=run_seed)
+
+
+class TestCostModel:
+    def test_cost_scales_with_family_density_not_just_n(self):
+        """The reason the policy exists: per-round cost tracks edges, so
+        a dense small graph must outrank a sparse large one — which raw
+        ``n`` (large-first) gets backwards."""
+        dense_small = _task(family="gnp_dense", n=64)
+        sparse_large = _task(family="tree", n=256)
+        assert estimate_task_cost(dense_small) > estimate_task_cost(
+            sparse_large)
+        order = CostModelScheduler().order([sparse_large, dense_small])
+        assert order == [1, 0]  # dense n=64 dispatched first
+        assert LargeFirstScheduler().order(
+            [sparse_large, dense_small]) == [0, 1]  # n alone disagrees
+
+    def test_cost_scales_with_algorithm(self):
+        """awake-MIS pays more simulated machinery per graph than Luby;
+        on the same graph its estimate must rank higher."""
+        assert estimate_task_cost(_task(algorithm="awake_mis")) > \
+            estimate_task_cost(_task(algorithm="luby"))
+
+    def test_clique_cost_grows_quadratically(self):
+        small = estimate_task_cost(_task(family="clique", n=32))
+        large = estimate_task_cost(_task(family="clique", n=64))
+        assert large / small > 3.5  # ~n^2 edges, not ~n
+
+    def test_every_registered_family_and_algorithm_has_a_cost(self):
+        """The calibration table must keep up with the registries — a
+        newly added family silently degrading the policy to large-first
+        should fail here, not go unnoticed."""
+        from repro.experiments.harness import available_algorithms
+        from repro.graphs.generators import FAMILIES
+
+        for family in FAMILIES:
+            for algorithm in available_algorithms():
+                cost = estimate_task_cost(_task(algorithm=algorithm,
+                                                family=family))
+                assert cost is not None and cost > 0
+
+    def test_unknown_family_estimates_to_none(self):
+        assert estimate_task_cost(_task(family="mystery")) is None
+
+    def test_unknown_algorithm_still_costed_by_family(self):
+        assert estimate_task_cost(_task(algorithm="future_mis")) > 0
+
+    def test_unknown_family_falls_back_to_large_first_ordering(self):
+        tasks = [_task(family="mystery", n=n, run_seed=n)
+                 for n in (16, 64, 32)]
+        tasks.append(_task(family="gnp", n=48, run_seed=48))
+        assert CostModelScheduler().order(tasks) == \
+            LargeFirstScheduler().order(tasks)
+
+    def test_order_is_descending_cost_and_stable_on_ties(self):
+        tasks = plan_sweep_tasks(**GRID)
+        order = CostModelScheduler().order(tasks)
+        costs = [estimate_task_cost(tasks[i]) for i in order]
+        assert costs == sorted(costs, reverse=True)
+        for value in set(costs):
+            indices = [i for i in order
+                       if estimate_task_cost(tasks[i]) == value]
+            assert indices == sorted(indices)  # planned order on ties
+        assert CostModelScheduler().order(tasks) == order  # deterministic
+
+    def test_driver_yields_every_task_in_cost_order(self):
+        tasks = plan_sweep_tasks(**GRID)
+        session = FakeSession(slots=2)
+        pairs = list(CostModelScheduler().run(tasks, session))
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        dispatched = [estimate_task_cost(tasks[i])
+                      for i in session.submitted]
+        assert dispatched == sorted(dispatched, reverse=True)
 
 
 class TestDriverLoop:

@@ -86,10 +86,57 @@ class TestWorkerAddresses:
         assert parse_worker_addresses(None) == []
         assert parse_worker_addresses("") == []
 
+    def test_slot_multiplier_expands_to_one_pair_per_connection(self):
+        assert parse_worker_addresses("hostA:8750*3,hostB:8751") == [
+            ("hostA", 8750), ("hostA", 8750), ("hostA", 8750),
+            ("hostB", 8751)]
+        assert parse_worker_addresses("hostA:8750*1") == [("hostA", 8750)]
+
+    def test_bracketed_ipv6_addresses_are_stripped(self):
+        """Regression: ``[::1]:8750`` used to keep the brackets in the
+        host (rpartition on ':') and then fail to connect."""
+        assert parse_worker_addresses("[::1]:8750") == [("::1", 8750)]
+        assert parse_worker_addresses("[fe80::2]:8750*2,hostB:8751") == [
+            ("fe80::2", 8750), ("fe80::2", 8750), ("hostB", 8751)]
+
     @pytest.mark.parametrize("bad", ["nohost", "host:", ":8750", "host:abc"])
     def test_malformed_addresses_rejected(self, bad):
         with pytest.raises(ConfigurationError, match="invalid worker address"):
             parse_worker_addresses(bad)
+
+    @pytest.mark.parametrize("bad", ["host:8750*0", "host:8750*-1",
+                                     "host:8750*x", "host:8750*",
+                                     "host:8750*2*2"])
+    def test_malformed_slot_multipliers_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="invalid worker address"):
+            parse_worker_addresses(bad)
+
+    @pytest.mark.parametrize("bad", ["[::1]", "[::1]:", "[]:8750",
+                                     "[::1:8750", "[::1]:abc"])
+    def test_malformed_ipv6_addresses_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="invalid worker address"):
+            parse_worker_addresses(bad)
+
+
+class TestListenAddresses:
+    def test_plain_and_bracketed_forms(self):
+        from repro.experiments.worker import parse_listen_address
+
+        assert parse_listen_address("0.0.0.0:8750") == ("0.0.0.0", 8750)
+        assert parse_listen_address("127.0.0.1:0") == ("127.0.0.1", 0)
+        # Regression: the bracketed IPv6 form used to mis-parse (the
+        # brackets stayed in the host) and could never bind.
+        assert parse_listen_address("[::1]:8750") == ("::1", 8750)
+        assert parse_listen_address("[::]:0") == ("::", 0)
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", ":8750", "host:abc",
+                                     "[::1]", "[]:8750", "[::1:8750"])
+    def test_malformed_listen_addresses_rejected(self, bad):
+        from repro.experiments.worker import parse_listen_address
+
+        with pytest.raises(ConfigurationError,
+                           match="invalid listen address"):
+            parse_listen_address(bad)
 
     def test_unreachable_worker_refused_up_front(self):
         # Dial a port nothing listens on: the sweep must fail before any
@@ -128,6 +175,111 @@ class TestSocketEquivalenceAndReuse:
             scheduler="large-first",
             transport=SocketTransport(socket_workers)))
         assert repr(sweep.rows()) == repr(serial.rows())
+
+
+class TestMultiSlotWorker:
+    """One worker process, many slots: equivalence, failure and budget."""
+
+    def test_one_process_two_slots_byte_identical_to_serial(
+            self, multislot_socket_worker):
+        serial = run_sweep(**GRID)
+        sweep = run_sweep(**GRID, backend=SocketBackend(
+            workers=multislot_socket_worker))
+        assert repr(sweep.rows()) == repr(serial.rows())
+        assert sweep.fits("awake_max") == serial.fits("awake_max")
+
+    def test_multislot_worker_serves_many_sweeps(
+            self, multislot_socket_worker):
+        """Each slot loops back to accept after its coordinator leaves:
+        the same 2-slot process serves back-to-back sweeps."""
+        serial = run_sweep(**GRID)
+        for _ in range(2):
+            again = run_sweep(**GRID, backend=SocketBackend(
+                workers=multislot_socket_worker))
+            assert repr(again.rows()) == repr(serial.rows())
+
+    def test_killing_one_slot_connection_spares_the_process(
+            self, tmp_path, spawn_socket_worker):
+        """The multi-slot failover satellite: a fault that kills one
+        slot's connection mid-task must cost exactly that connection —
+        the worker *process* survives, the coordinator reconnects the
+        slot (or fails the task over to the surviving slot), and the
+        rows stay byte-identical to serial."""
+        serial = run_sweep(**GRID)
+        victim = plan_sweep_tasks(**GRID)[3]
+        marker = tmp_path / f"crash-run_seed-{victim.run_seed}"
+        marker.write_text("")
+        proc, address = spawn_socket_worker(
+            extra_env={WORKER_FAULT_DIR_ENV: str(tmp_path)}, slots=2)
+
+        backend = SocketBackend(workers=f"{address}*2")
+        recovered = run_sweep(**GRID, backend=backend)
+
+        assert not marker.exists()  # the fault actually fired
+        assert proc.poll() is None  # ...but the process survived it
+        assert backend.worker_restarts >= 1
+        assert repr(recovered.rows()) == repr(serial.rows())
+        assert recovered.fits("awake_max") == serial.fits("awake_max")
+
+    def test_garbage_connection_does_not_consume_a_bounded_budget(
+            self, spawn_socket_worker):
+        """Regression: ``served`` used to be incremented at accept time,
+        so a garbage peer permanently consumed one slot-count of a
+        ``--max-connections`` budget.  Now only connections that deliver
+        a valid task frame count: after a junk connection, a
+        max_connections=1 worker must still serve a full real sweep —
+        and only then exit."""
+        proc, address = spawn_socket_worker(max_connections=1)
+        host, port = address.split(":")
+        with socket.create_connection((host, int(port)), timeout=5) as sock:
+            sock.recv(4096)  # its hello
+            sock.sendall(b"\x00\x00\x00\x04junk")  # framed non-JSON
+        time.sleep(0.1)
+        assert proc.poll() is None  # the junk did not burn the budget
+
+        serial = run_sweep(**GRID)
+        sweep = run_sweep(**GRID, backend=SocketBackend(workers=address))
+        assert repr(sweep.rows()) == repr(serial.rows())
+        # The real sweep was the budgeted connection: the worker exits.
+        assert proc.wait(timeout=10) == 0
+
+    def test_worker_side_slot_threads_do_not_leak(self):
+        """serve() run in-process: after a bounded 2-slot worker returns,
+        no ``repro-worker-slot`` thread may remain (and the sweep that
+        exercised both slots is byte-identical to serial)."""
+        from repro.experiments.worker import serve
+
+        ready = threading.Event()
+        bound = {}
+
+        def on_listening(host, port):
+            bound["port"] = port
+            ready.set()
+
+        server = threading.Thread(
+            target=serve, args=("127.0.0.1:0",),
+            kwargs=dict(max_connections=2, slots=2,
+                        on_listening=on_listening),
+            daemon=True)
+        server.start()
+        assert ready.wait(5)
+
+        serial = run_sweep(**GRID)
+        sweep = run_sweep(**GRID, backend=SocketBackend(
+            workers=f"127.0.0.1:{bound['port']}*2"))
+        server.join(timeout=10)
+        assert not server.is_alive()  # the budget terminated serve()
+        leaked = [thread.name for thread in threading.enumerate()
+                  if thread.name.startswith("repro-worker-slot")]
+        assert leaked == []
+        assert repr(sweep.rows()) == repr(serial.rows())
+
+    def test_invalid_slot_counts_rejected(self):
+        from repro.experiments.worker import serve
+
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(ConfigurationError, match="invalid slots"):
+                serve("127.0.0.1:0", slots=bad)
 
 
 class TestSocketFailureModes:
