@@ -20,6 +20,7 @@ slot — to that worker; bracket IPv6 hosts as ``[::1]:8750``)::
     repro-mis sweep --algorithms awake_mis luby --sizes 256 512 1024 \
         --repetitions 3 --seed 7 --scheduler cost-model \
         --backend socket --workers hostA:8750*4,hostB:8750*2 \
+        --window adaptive --max-batch 8 \
         --output results.jsonl
 
 (`--scheduler cost-model` dispatches tasks in descending *estimated*
@@ -30,9 +31,23 @@ large one — which cuts the straggler tail on mixed grids;
 schema differs is refused at dial time, and a connection lost mid-task
 fails over to the remaining slots.)
 
+``--window``/``--max-batch`` control the pipelined transport.  Each
+connection keeps up to *window* sequence-numbered frames in flight
+instead of strictly alternating task/result; ``adaptive`` (the default)
+grows the window AIMD-style — one step per acked result, halved when a
+connection drops or acks stall — so long round trips stop serialising
+tiny tasks.  ``--max-batch`` additionally coalesces queued tiny tasks
+into one ``tasks`` frame (batch size self-clocks to the ack rate; big
+tasks still go one per frame).  A connection lost mid-window requeues
+*every* in-flight frame exactly like the historical single-frame loss,
+and a pre-windowing worker that does not advertise the capability is
+driven at window 1 — so none of this can change a result byte, only
+wall-clock time.
+
 This example demonstrates the identical flow on one machine: it spawns
 ONE local worker process serving two slots, runs the same sweep once
-serially and once through both slots, and verifies the tables match.
+serially and once through both slots (windowed + batched), and verifies
+the tables match.
 """
 
 from __future__ import annotations
@@ -54,16 +69,18 @@ def main() -> int:
     print(f"serving 1 local worker with 2 slots: --workers {workers}")
     try:
         serial = run_sweep(**SWEEP, keep_runs=False)
-        clustered = run_sweep(
-            **SWEEP, keep_runs=False,
-            backend=ComposedBackend(scheduler="cost-model",
-                                    transport=SocketTransport(workers)),
-        )
+        backend = ComposedBackend(
+            scheduler="cost-model",
+            transport=SocketTransport(workers, window="adaptive",
+                                      max_batch=8))
+        clustered = run_sweep(**SWEEP, keep_runs=False, backend=backend)
     finally:
         process.kill()
         process.wait()
     print(render_sweep(clustered,
                        title="sweep over one 2-slot worker (cost-model)"))
+    print(f"peak per-connection window: {backend.transport.peak_window} "
+          f"(grown from 1, one step per acked result)")
     identical = repr(clustered.rows()) == repr(serial.rows())
     print(f"byte-identical to the serial run: {identical}")
     return 0 if identical else 1

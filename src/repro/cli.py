@@ -93,7 +93,16 @@ _STORE_EPILOG = (
     "bracket IPv6 hosts as '[::1]:8750'.  The handshake refuses "
     "workers running incompatible code (CODE_SCHEMA_VERSION), and a "
     "connection lost mid-task fails over to the remaining slots with "
-    "byte-identical results.  Add --output/--resume so a coordinator "
+    "byte-identical results.  The socket transport pipelines: each "
+    "connection keeps a sliding window of task frames in flight that "
+    "starts at 1 and self-tunes (AIMD: +1 per acked result, halved on "
+    "reconnect or a slow ack), so remote workers stop paying one "
+    "round-trip per task; --window N caps it, --window adaptive is the "
+    "default, and --max-batch N groups tiny tasks into one frame.  A "
+    "connection lost mid-window requeues every in-flight frame, and "
+    "workers that predate the windowed protocol are driven one frame "
+    "at a time — results are byte-identical at every window and batch "
+    "size.  Add --output/--resume so a coordinator "
     "crash resumes instead of re-running.  Inspect a store later with "
     "'repro-mis report FILE'."
 )
@@ -114,6 +123,16 @@ _WORKERS_HELP = ("socket workers to dial, as HOST:PORT[*SLOTS][,...] "
                  "(serve them with 'repro-mis worker serve'; '*K' dials "
                  "K connections to one multi-slot worker, '[::1]:8750' "
                  "for IPv6); implies --transport socket")
+_WINDOW_HELP = ("task frames kept in flight per worker connection "
+                "(framed transports only): an integer cap, or 'adaptive' "
+                "(the socket default) to start at 1 and self-tune via "
+                "AIMD — +1 per acked result, halved on reconnect; a lost "
+                "connection requeues every in-flight frame, so results "
+                "never depend on the window")
+_MAX_BATCH_HELP = ("group up to N tiny tasks into one 'tasks' frame to "
+                   "amortize per-frame overhead (framed transports only; "
+                   "default 1 = no batching; workers without batch "
+                   "support fall back to single-task frames)")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser,
@@ -130,6 +149,10 @@ def _add_execution_arguments(parser: argparse.ArgumentParser,
                         help=_TRANSPORT_HELP)
     parser.add_argument("--workers", metavar="HOST:PORT,...", default=None,
                         help=_WORKERS_HELP)
+    parser.add_argument("--window", metavar="N|adaptive", default=None,
+                        help=_WINDOW_HELP)
+    parser.add_argument("--max-batch", dest="max_batch", type=int,
+                        default=None, metavar="N", help=_MAX_BATCH_HELP)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -238,7 +261,13 @@ def _build_parser() -> argparse.ArgumentParser:
                "whose CODE_SCHEMA_VERSION differs from its own, and "
                "--max-connections only counts connections that actually "
                "served a task — a garbage peer cannot burn a bounded "
-               "worker's budget.",
+               "worker's budget.  The worker advertises the windowed "
+               "protocol (its hello lists the 'window' and 'batch' "
+               "features): coordinators may keep several frames in "
+               "flight per connection and group tiny tasks into one "
+               "'tasks' frame (--window/--max-batch on the sweep side); "
+               "each connection is still served sequentially, replying "
+               "in order, so no worker-side tuning is needed.",
     )
     serve_parser.add_argument("--listen", metavar="HOST:PORT",
                               required=True,
@@ -314,7 +343,8 @@ def _compose_backend(args: argparse.Namespace):
     """
     return make_backend(backend=args.backend, scheduler=args.scheduler,
                         transport=args.transport, workers=args.workers,
-                        jobs=args.jobs)
+                        jobs=args.jobs, window=args.window,
+                        max_batch=args.max_batch)
 
 
 def _write_rows_csv(rows: List[dict], destination: str) -> None:

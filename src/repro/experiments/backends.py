@@ -50,10 +50,11 @@ from repro.experiments.schedulers import (SCHEDULERS, CostModelScheduler,
                                           available_schedulers,
                                           resolve_scheduler)
 from repro.experiments.transports import (  # noqa: F401 - re-exported compat
-    SOCKET_WORKERS_ENV, TRANSPORTS, WORKER_FAULT_DIR_ENV, InlineTransport,
-    ProcessTransport, SocketTransport, SubprocessTransport, ThreadTransport,
-    Transport, available_transports, parse_worker_addresses,
-    resolve_transport)
+    ADAPTIVE_WINDOW, SOCKET_WORKERS_ENV, TRANSPORTS, WORKER_FAULT_DIR_ENV,
+    InlineTransport, ProcessTransport, SocketTransport, SubprocessTransport,
+    ThreadTransport, Transport, available_transports,
+    parse_worker_addresses, resolve_max_batch, resolve_transport,
+    resolve_window)
 
 
 class Backend(Protocol):
@@ -239,7 +240,10 @@ def make_backend(backend: Optional[str] = None,
                  transport: Optional[str] = None,
                  workers: Union[None, str, Sequence[str]] = None,
                  jobs: Optional[int] = 1,
-                 max_attempts: int = 3) -> Optional[Backend]:
+                 max_attempts: int = 3,
+                 window: Union[None, int, str] = None,
+                 max_batch: Union[None, int, str] = None,
+                 ) -> Optional[Backend]:
     """Compose a backend from CLI-style selectors.
 
     Returns ``None`` when every selector is ``None`` — the historical
@@ -247,6 +251,9 @@ def make_backend(backend: Optional[str] = None,
     :func:`resolve_backend`.  A ``--backend`` alias provides the
     (scheduler, transport) pair; explicit ``--scheduler`` / ``--transport``
     override its halves; ``--workers`` implies the socket transport.
+    ``--window`` / ``--max-batch`` tune the framed transports' pipelining
+    (see :mod:`repro.experiments.transports`); ``None`` keeps each
+    transport's default (adaptive for socket, 1 for subprocess).
 
     Socket misconfiguration fails *here*, not at session-open time: a
     sweep that cannot possibly run (no ``--workers``, no
@@ -274,6 +281,20 @@ def make_backend(backend: Optional[str] = None,
                 "--workers only applies to the socket transport "
                 "(--backend socket / --transport socket)"
             )
+    pipeline_options: Dict[str, int] = {}
+    if window is not None:
+        pipeline_options["window"] = resolve_window(window)
+    if max_batch is not None:
+        pipeline_options["max_batch"] = resolve_max_batch(max_batch)
+    if pipeline_options:
+        framed = (backend in ("async", "socket")
+                  or transport in ("subprocess", "socket"))
+        if not framed:
+            raise ConfigurationError(
+                "--window/--max-batch only apply to the framed transports: "
+                "combine them with --workers/--backend socket/--transport "
+                "socket, or --backend async/--transport subprocess"
+            )
     if backend is None and scheduler is None and transport is None:
         return None
     if backend == "socket" or transport == "socket":
@@ -290,9 +311,16 @@ def make_backend(backend: Optional[str] = None,
                 "serve --listen HOST:PORT --slots N') or set the "
                 f"{SOCKET_WORKERS_ENV} environment variable"
             )
-        return ComposedBackend(scheduler=scheduler,
-                               transport=SocketTransport(workers),
-                               jobs=jobs, max_attempts=max_attempts)
+        return ComposedBackend(
+            scheduler=scheduler,
+            transport=SocketTransport(workers, **pipeline_options),
+            jobs=jobs, max_attempts=max_attempts)
+    if pipeline_options and (backend == "async"
+                             or transport == "subprocess"):
+        return ComposedBackend(
+            scheduler=scheduler,
+            transport=SubprocessTransport(**pipeline_options),
+            jobs=jobs, max_attempts=max_attempts)
     if backend is not None:
         # Alias classes carry their transport; just add the scheduler.
         return BACKENDS[backend](jobs=jobs, scheduler=scheduler)
@@ -310,5 +338,6 @@ __all__ = [
     "Transport", "InlineTransport", "ThreadTransport", "ProcessTransport",
     "SubprocessTransport", "SocketTransport", "TRANSPORTS",
     "available_transports", "resolve_transport", "parse_worker_addresses",
+    "ADAPTIVE_WINDOW", "resolve_window", "resolve_max_batch",
     "WORKER_FAULT_DIR_ENV", "SOCKET_WORKERS_ENV",
 ]

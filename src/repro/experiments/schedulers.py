@@ -21,6 +21,15 @@ slot remains.  Because every task's seeds were fixed up front by
 policy can affect a single result byte — policies only move wall-clock
 time around.
 
+The loop re-reads ``session.slots`` every iteration, and ``slots`` is a
+*capacity*, not a worker count: the windowed framed transports report
+the sum of their per-connection congestion windows, so as windows grow
+(one increment per acked result — see :mod:`repro.experiments
+.transports`) the same loop pipelines more frames into the same
+connections with no scheduler-side changes.  A ``lost`` event may arrive
+once per in-flight frame of a dead connection — the requeue path is the
+same whether a loss costs one task or a whole window.
+
 Policies
 --------
 

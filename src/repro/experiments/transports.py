@@ -61,13 +61,41 @@ Every coordinator↔worker conversation starts with the worker's hello
 frame (``{"kind": "hello", "schema": CODE_SCHEMA_VERSION}``); frames are
 4-byte big-endian length prefixes followed by UTF-8 JSON (see
 :mod:`repro.experiments.worker`).
+
+Windowed, self-clocking pipelining
+----------------------------------
+
+The framed transports (``subprocess`` and ``socket``) keep a **sliding
+window** of sequence-numbered task frames in flight per peer instead of
+strictly alternating one frame and one reply.  A worker serves each
+connection sequentially and replies in send order, so the coordinator
+tracks its in-flight frames in a deque and matches every reply against
+the head — no reordering machinery, just TCP-Reno-style self-clocking:
+each acked result frees window space, which the slot thread refills from
+the shared inbox before blocking on the next reply.
+
+The window is adaptive (AIMD): it starts at 1, grows by one frame per
+acked result up to the configured cap (``window=N``, or
+``window="adaptive"`` for a cap of :data:`ADAPTIVE_WINDOW_CAP`), and is
+halved on a reconnect or a slower-than-``ack_timeout`` ack, so it
+self-tunes to worker capacity.  ``max_batch=N`` additionally groups up
+to N tiny tasks into one ``tasks`` frame to amortise framing and JSON
+overhead on small-task grids.  The worker's hello advertises these
+capabilities in its ``features`` list; a peer that advertises neither is
+driven exactly like before — window 1, single-task frames.
+
+None of this can touch a result byte: seeds are fixed at planning time,
+and a connection lost mid-window requeues **every** in-flight frame on
+that connection exactly like the historical single-frame loss.
 """
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import os
 import queue
+import select
 import socket
 import subprocess
 import sys
@@ -98,16 +126,65 @@ SOCKET_WORKERS_ENV = "REPRO_WORKERS"
 #: Sentinel telling a slot thread to exit.
 _SHUTDOWN = object()
 
+#: Window selector meaning "start at 1 and self-tune via AIMD".
+ADAPTIVE_WINDOW = "adaptive"
 
-def split_host_port(text: str) -> Tuple[str, int]:
+#: Cap the adaptive window grows towards.  64 frames of compact JSON is
+#: far beyond the bandwidth-delay product of any realistic link here;
+#: the cap exists so a pathological worker can never make the
+#: coordinator queue an entire grid behind one connection.
+ADAPTIVE_WINDOW_CAP = 64
+
+
+def resolve_window(window) -> int:
+    """Normalise a window selector into the integer cap it means.
+
+    Accepts a positive integer (possibly as a CLI string) or
+    :data:`ADAPTIVE_WINDOW`; the adaptive selector resolves to
+    :data:`ADAPTIVE_WINDOW_CAP`.  The cap only bounds *pipelining depth*
+    — the window always starts at 1 and grows per acked result, so any
+    cap ≥ 1 yields byte-identical sweep results.
+    """
+    if window == ADAPTIVE_WINDOW:
+        return ADAPTIVE_WINDOW_CAP
+    if isinstance(window, str) and window.isdigit():
+        window = int(window)
+    if isinstance(window, bool) or not isinstance(window, int) or window < 1:
+        raise ConfigurationError(
+            f"invalid window {window!r}: need a positive integer (the "
+            "maximum task frames kept in flight per worker connection) or "
+            f"'{ADAPTIVE_WINDOW}' (start at 1, grow to "
+            f"{ADAPTIVE_WINDOW_CAP} as results are acked)"
+        )
+    return window
+
+
+def resolve_max_batch(max_batch) -> int:
+    """Normalise a max-batch selector (int or CLI string) to a positive int."""
+    if isinstance(max_batch, str) and max_batch.isdigit():
+        max_batch = int(max_batch)
+    if isinstance(max_batch, bool) or not isinstance(max_batch, int) \
+            or max_batch < 1:
+        raise ConfigurationError(
+            f"invalid max_batch {max_batch!r}: need a positive integer "
+            "(tasks grouped into one 'tasks' frame; 1 disables batching)"
+        )
+    return max_batch
+
+
+def split_host_port(text: str, allow_ephemeral: bool = False) -> Tuple[str, int]:
     """Parse ``host:port`` or bracketed ``[ipv6]:port`` into ``(host, port)``.
 
     The bracketed form is how every other network tool spells an IPv6
     endpoint (``[::1]:8750``); the brackets are stripped so the host can
     go straight into :func:`socket.create_connection` /
-    :func:`socket.create_server`.  Raises :class:`ValueError` on anything
-    malformed — callers wrap it in their own
-    :class:`~repro.errors.ConfigurationError` with flag-specific advice.
+    :func:`socket.create_server`.  The port must be in 1–65535 —
+    out-of-range values used to parse here and fail much later with
+    confusing OS errors; *allow_ephemeral* additionally admits port 0,
+    which only makes sense for a listener asking the OS to pick a port.
+    Raises :class:`ValueError` on anything malformed — callers wrap it in
+    their own :class:`~repro.errors.ConfigurationError` with
+    flag-specific advice.
     """
     if text.startswith("["):
         host, bracket, port_text = text.partition("]:")
@@ -115,11 +192,18 @@ def split_host_port(text: str) -> Tuple[str, int]:
         if not bracket or not host or not port_text.isdigit():
             raise ValueError(
                 "expected [IPV6]:PORT with a numeric port (e.g. [::1]:8750)")
-        return host, int(port_text)
-    host, separator, port_text = text.rpartition(":")
-    if not separator or not host or not port_text.isdigit():
-        raise ValueError("expected HOST:PORT with a numeric port")
-    return host, int(port_text)
+    else:
+        host, separator, port_text = text.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            raise ValueError("expected HOST:PORT with a numeric port")
+    port = int(port_text)
+    minimum = 0 if allow_ephemeral else 1
+    if not minimum <= port <= 65535:
+        raise ValueError(
+            f"port {port} is out of range (1-65535"
+            + (", or 0 for an OS-assigned ephemeral port)"
+               if allow_ephemeral else ")"))
+    return host, port
 
 
 def format_address(host: str, port: int) -> str:
@@ -161,11 +245,12 @@ def parse_worker_addresses(
             )
         try:
             host, port = split_host_port(address_text)
-        except ValueError:
+        except ValueError as error:
             raise ConfigurationError(
-                f"invalid worker address '{part}': expected HOST:PORT or "
-                "[IPV6]:PORT, optionally with a '*SLOTS' multiplier "
-                "(e.g. 127.0.0.1:8750, [::1]:8750, hostA:8750*4)"
+                f"invalid worker address '{part}': {error} — --workers "
+                "takes HOST:PORT or [IPV6]:PORT, optionally with a "
+                "'*SLOTS' multiplier (e.g. 127.0.0.1:8750, [::1]:8750, "
+                "hostA:8750*4)"
             ) from None
         addresses.extend([(host, port)] * (int(slots_text) if star else 1))
     return addresses
@@ -207,16 +292,57 @@ def _frame_error(frame: Dict, index: int) -> Exception:
     )
 
 
+def _reply_ready(peer) -> bool:
+    """Whether another reply can start being read without blocking.
+
+    Checks the kernel buffer under the peer's reader; bytes the buffered
+    reader already consumed ahead of the last frame are invisible here,
+    which only costs a drain opportunity (they are picked up by the next
+    blocking read), never correctness or liveness.
+    """
+    try:
+        return bool(select.select([peer.reader], [], [], 0)[0])
+    except (OSError, ValueError):
+        return False
+
+
 class Transport:
-    """Base transport: configuration + a cumulative slot-replacement count."""
+    """Base transport: configuration + cumulative session statistics."""
 
     #: Registry name ("inline", "thread", ...), set by subclasses.
     name = "inline"
 
     def __init__(self) -> None:
-        #: Cumulative count of slot peers replaced after dying mid-task
-        #: (what the crash-recovery tests assert on).
-        self.restarts = 0
+        # Slot threads report restarts and window growth concurrently; a
+        # bare `restarts += 1` is a read-modify-write that loses
+        # increments under contention, so both counters live behind one
+        # lock and are only written through the methods below.
+        self._stats_lock = threading.Lock()
+        self._restarts = 0
+        self._peak_window = 1
+
+    @property
+    def restarts(self) -> int:
+        """Cumulative count of slot peers replaced after dying mid-task
+        (what the crash-recovery tests assert on)."""
+        with self._stats_lock:
+            return self._restarts
+
+    def count_restart(self) -> None:
+        with self._stats_lock:
+            self._restarts += 1
+
+    @property
+    def peak_window(self) -> int:
+        """Largest per-connection window any session of this transport
+        reached — observability for the AIMD self-tuning."""
+        with self._stats_lock:
+            return self._peak_window
+
+    def note_window(self, window: int) -> None:
+        with self._stats_lock:
+            if window > self._peak_window:
+                self._peak_window = window
 
     def open(self, slots: int) -> "TransportSession":
         raise NotImplementedError
@@ -350,6 +476,8 @@ class _SubprocessPeer:
     """One ``python -m repro.experiments.worker`` over stdio pipes."""
 
     def __init__(self) -> None:
+        #: Capabilities from the worker's hello frame (set post-handshake).
+        self.features: Tuple[str, ...] = ()
         # The worker must be able to `import repro` even when the
         # coordinator runs from a source checkout that is only on
         # sys.path, not installed: prepend our package root.
@@ -399,12 +527,19 @@ class _SocketPeer:
     def __init__(self, address: Tuple[str, int],
                  connect_timeout: float) -> None:
         self.address = address
+        #: Capabilities from the worker's hello frame (set post-handshake).
+        self.features: Tuple[str, ...] = ()
         # The dial *and* the hello frame are bounded by connect_timeout (a
         # peer that accepts but never says hello must not hang the
         # coordinator); _dial_worker lifts the timeout once the handshake
         # passed, because result frames legitimately block for as long as
         # a task computes.
         self.sock = socket.create_connection(address, timeout=connect_timeout)
+        # Frames are small writes fired back-to-back (a windowed burst,
+        # batched replies): without TCP_NODELAY, Nagle holds the second
+        # write until the peer's delayed ACK (~40ms) — which serialised
+        # the pipelined protocol right back to stop-and-wait pacing.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.reader = self.sock.makefile("rb")
         self.writer = self.sock.makefile("wb")
 
@@ -430,14 +565,34 @@ class _FramedSession(TransportSession):
     subprocess or a TCP connection).  Threads pull from a shared inbox —
     so a requeued task is picked up by whichever slot frees first — and
     push completion events to a shared queue.  A peer that dies mid-task
-    is replaced *before* the ``lost`` event is reported, so the slot's
+    is replaced *before* the ``lost`` events are reported, so the slot's
     fate (alive with a fresh peer, or permanently retired) is settled by
     the time the scheduler decides whether to requeue.
+
+    Each slot keeps a **sliding window** of sequence-numbered frames in
+    flight (see the module docstring): ``slots`` reports the *sum of the
+    live windows*, so the scheduler — which re-reads ``slots`` every
+    iteration — feeds the session exactly as much work as the windows can
+    absorb without any scheduler-side changes.  Workers reply in send
+    order per connection, so each slot matches replies against the head
+    of its in-flight deque; a peer that advertises no ``window``
+    capability in its hello is pinned to window 1 (and no ``batch``
+    capability means single-task frames), which is byte-for-byte the
+    pre-windowing protocol.
     """
 
     def __init__(self, transport: Transport, slots: int,
-                 peers: Optional[List] = None) -> None:
+                 peers: Optional[List] = None, window=1, max_batch=1,
+                 ack_timeout: Optional[float] = None,
+                 frame_latency: float = 0.0) -> None:
         self._transport = transport
+        self._window_cap = resolve_window(window)
+        self._max_batch = resolve_max_batch(max_batch)
+        self._ack_timeout = ack_timeout
+        self._frame_latency = frame_latency
+        #: How long close() waits for a thread that cannot be interrupted
+        #: (mid-dial); socket sessions widen this to cover connect_timeout.
+        self._shutdown_grace = 5.0
         self._inbox: "queue.Queue" = queue.Queue()
         self._events: "queue.Queue[Tuple]" = queue.Queue()
         self._closing = threading.Event()
@@ -445,7 +600,16 @@ class _FramedSession(TransportSession):
         self._lock = threading.Lock()
         self._live = slots
         self._retired = [False] * slots
+        #: Per-slot congestion window / cap / batch capability (AIMD
+        #: state, guarded by ``_lock``; the in-flight deque itself is
+        #: private to each slot thread).
+        self._cwnd = [1] * slots
+        self._caps = [self._window_cap] * slots
+        self._batch_ok = [False] * slots
         self._peers: List = list(peers) if peers else [None] * slots
+        for slot, peer in enumerate(self._peers):
+            if peer is not None:
+                self._apply_peer_capabilities(slot, peer)
         self._threads = [
             threading.Thread(target=self._slot_main, args=(slot,),
                              name=f"repro-transport-slot-{slot}", daemon=True)
@@ -459,11 +623,20 @@ class _FramedSession(TransportSession):
     # ------------------------------------------------------------------ #
     @property
     def slots(self) -> int:
+        # Capacity is the sum of the live windows, not the connection
+        # count: as windows grow the scheduler pipelines more frames into
+        # the same connections.
         with self._lock:
-            return self._live
+            return sum(self._cwnd[slot] for slot in range(len(self._retired))
+                       if not self._retired[slot])
 
     def submit(self, index: int, task: SweepTask) -> None:
         self._inbox.put((index, task))
+        # A task submitted while (or just before) the last live slot
+        # retired would sit in the inbox forever with the scheduler
+        # blocked in next_event(); report it lost so the scheduler
+        # requeues it, re-reads zero capacity and raises cleanly.
+        self._drain_inbox_if_dead()
 
     def next_event(self) -> Tuple:
         return self._events.get()
@@ -484,13 +657,18 @@ class _FramedSession(TransportSession):
         if stuck:
             # A thread is still blocked on an in-flight result frame:
             # interrupt its peer so the read fails, then the closing flag
-            # makes the thread exit without requeueing.
+            # makes the thread exit without requeueing.  A thread with no
+            # peer to interrupt is mid-reconnect: _make_peer aborts on
+            # the closing flag between attempts, so the only uninterruptible
+            # wait left is a single in-progress dial — bound the join by
+            # that instead of hanging forever (the threads are daemons).
             with self._lock:
                 peers = [peer for peer in self._peers if peer is not None]
             for peer in peers:
                 peer.interrupt()
+            deadline = time.monotonic() + self._shutdown_grace
             for thread in stuck:
-                thread.join()
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
         # Threads dispose their own peers on exit; sweep up any a retired
         # slot left registered.
         with self._lock:
@@ -529,76 +707,287 @@ class _FramedSession(TransportSession):
             if not self._retired[slot]:
                 self._retired[slot] = True
                 self._live -= 1
+        self._drain_inbox_if_dead()
+
+    def _drain_inbox_if_dead(self) -> None:
+        """Report queued-but-unpulled tasks lost once no thread can pull.
+
+        Only fires when every slot has retired (never during shutdown —
+        close() discards queued work by design).  Shutdown sentinels are
+        put back for the threads they belong to.
+        """
+        with self._lock:
+            dead = self._live == 0
+        if not dead or self._closing.is_set():
+            return
+        while True:
+            try:
+                item = self._inbox.get(block=False)
+            except queue.Empty:
+                return
+            if item is _SHUTDOWN:
+                self._inbox.put(item)
+                return
+            self._events.put(("lost", item[0]))
 
     def _drop_peer(self, slot: int, graceful: bool) -> None:
         peer = self._take_peer(slot)
         if peer is not None:
             peer.dispose(graceful=graceful)
 
-    def _replace_peer(self, slot: int, index: int) -> bool:
+    def _apply_peer_capabilities(self, slot: int, peer) -> None:
+        """Clamp the slot's AIMD state to what the peer's hello offered.
+
+        A peer that never advertised ``window`` gets the historical
+        strict request/reply alternation (cap 1); one that never
+        advertised ``batch`` gets single-task frames only.
+        """
+        features = getattr(peer, "features", ())
+        with self._lock:
+            self._caps[slot] = (self._window_cap if "window" in features
+                                else 1)
+            self._cwnd[slot] = min(self._cwnd[slot], self._caps[slot])
+            self._batch_ok[slot] = (self._max_batch > 1
+                                    and "batch" in features)
+
+    def _on_ack(self, slot: int, slow: bool = False) -> None:
+        """AIMD update for one acked frame: additive increase per ack,
+        halve when the ack was slower than ``ack_timeout`` (the worker —
+        or the link — is saturated, so stop piling frames onto it)."""
+        with self._lock:
+            if slow:
+                self._cwnd[slot] = max(1, self._cwnd[slot] // 2)
+            elif self._cwnd[slot] < self._caps[slot]:
+                self._cwnd[slot] += 1
+                self._transport.note_window(self._cwnd[slot])
+
+    def _replace_peer_many(self, slot: int, indices: List[int]) -> bool:
         """Get a fresh peer for *slot*; retire the slot if impossible.
 
-        Returns True when the slot is usable again.  On failure the
-        appropriate event for the task *index* has already been pushed.
+        Returns True when the slot is usable again.  On failure an event
+        for every in-flight task in *indices* has already been pushed.
         The retire-then-report order matters: the scheduler re-reads
-        ``slots`` after every event, so a task requeued by the ``lost``
+        ``slots`` after every event, so a task requeued by a ``lost``
         event can never be waiting for capacity that no longer exists.
         """
         try:
-            self._set_peer(slot, self._make_peer(slot))
-            return True
+            peer = self._make_peer(slot)
         except ConfigurationError as error:
             self._retire(slot)
-            self._events.put(("error", index, error))
+            for index in indices[1:]:
+                self._events.put(("lost", index))
+            self._events.put(("error", indices[0] if indices else -1, error))
             return False
         except Exception:
             self._retire(slot)
-            self._events.put(("lost", index))
+            for index in indices:
+                self._events.put(("lost", index))
             return False
+        self._set_peer(slot, peer)
+        self._apply_peer_capabilities(slot, peer)
+        return True
+
+    def _handle_peer_death(self, slot: int, in_flight) -> bool:
+        """The peer died mid-window (kill, crash, OOM, dropped
+        connection) — or close() interrupted it.
+
+        Replaces the peer (halving the window: the AIMD multiplicative
+        decrease), then reports **every** in-flight frame lost so the
+        scheduler requeues all of them — the multi-frame generalisation
+        of the historical single-frame loss.  Returns False when the
+        thread should exit (shutdown, or the slot retired); the caller
+        must clear its in-flight deque either way.
+        """
+        self._drop_peer(slot, graceful=False)
+        if self._closing.is_set():
+            return False
+        self._transport.count_restart()
+        with self._lock:
+            self._cwnd[slot] = max(1, self._cwnd[slot] // 2)
+        indices = [index for _, index, _ in in_flight]
+        if not self._replace_peer_many(slot, indices):
+            return False
+        for index in indices:
+            self._events.put(("lost", index))
+        return True
+
+    def _abandon_pending(self, pending) -> None:
+        """A slot exiting with coalesced-but-unsent tasks reports each
+        lost, so the scheduler can requeue them (or conclude no slot is
+        left) instead of blocking forever on events that never come.
+        """
+        for index, _task in pending:
+            self._events.put(("lost", index))
+        pending.clear()
+
+    def _write_entries(self, slot: int, entries, write_frame) -> None:
+        """Send ``(seq, index, task)`` entries, batching where allowed."""
+        peer = self._peers[slot]
+        batch = self._max_batch if self._batch_ok[slot] else 1
+        for start in range(0, len(entries), batch):
+            group = entries[start:start + batch]
+            if self._frame_latency > 0.0:
+                # Benchmark-only simulated link latency, paid per frame
+                # written — which is exactly what windowing amortises.
+                time.sleep(self._frame_latency)
+            if len(group) == 1:
+                seq, index, task = group[0]
+                write_frame(peer.writer,
+                            {"kind": "task", "seq": seq, "index": index,
+                             "task": task.to_json()})
+            else:
+                write_frame(peer.writer, {
+                    "kind": "tasks",
+                    "items": [{"seq": seq, "index": index,
+                               "task": task.to_json()}
+                              for seq, index, task in group],
+                })
+
+    def _check_reply(self, frame: Dict, seq: int, index: int) -> None:
+        """Validate one reply frame against the head of the window."""
+        kind = frame.get("kind")
+        if kind not in ("result", "error"):
+            raise ValueError(
+                f"unexpected {kind!r} frame from worker while awaiting a "
+                "reply")
+        if "seq" in frame and int(frame["seq"]) != seq:
+            raise ValueError(
+                f"out-of-order reply from worker: expected seq {seq}, got "
+                f"{frame['seq']} — per-connection in-flight tracking "
+                "desynchronised")
+        if int(frame.get("index", index)) != index:
+            raise ValueError(
+                f"reply for task index {frame.get('index')} arrived while "
+                f"task {index} was at the head of the window")
 
     def _slot_main(self, slot: int) -> None:
         from repro.experiments.worker import read_frame, write_frame
 
+        # (seq, index, task) in send order; the worker replies in order,
+        # so every reply is matched against the head.
+        in_flight: "collections.deque" = collections.deque()
+        # (index, task) pulled from the inbox but not yet written — held
+        # back (coalesced) while the peer has plenty of backlog, so tiny
+        # tasks ride one batched frame instead of paying per-frame cost
+        # each.  Never sent to a dead peer: if the peer dies first, the
+        # replacement gets them, and if the slot retires they are
+        # reported lost below.
+        pending: List = []
+        next_seq = 0
         try:
             while not self._closing.is_set():
-                item = self._inbox.get()
-                if item is _SHUTDOWN:
-                    return
-                if self._closing.is_set():
-                    # Drop queued tasks during shutdown; keep draining
-                    # until this thread's sentinel arrives.
-                    continue
-                index, task = item
                 try:
-                    if self._peers[slot] is None and not self._replace_peer(
-                            slot, index):
-                        return
-                    peer = self._peers[slot]
-                    try:
-                        write_frame(peer.writer,
-                                    {"kind": "task", "index": index,
-                                     "task": task.to_json()})
-                        frame = read_frame(peer.reader)
-                    except (OSError, ValueError):
-                        frame = None
-                    if frame is None:
-                        # The peer died mid-task (kill, crash, OOM,
-                        # dropped connection) — or close() interrupted it.
-                        self._drop_peer(slot, graceful=False)
+                    # -------------------------------------------- fill
+                    # Top the window up from the shared inbox.  Only
+                    # block indefinitely when nothing at all is
+                    # outstanding.  With batching available, an empty
+                    # inbox is usually just the scheduler mid-top-up —
+                    # the slot thread wins that race every time
+                    # otherwise — so cork for ~1ms to let replacement
+                    # submissions land on this frame instead of each
+                    # paying for its own.
+                    while True:
+                        with self._lock:
+                            budget = (self._cwnd[slot] - len(in_flight)
+                                      - len(pending))
+                        if budget <= 0:
+                            break
+                        try:
+                            if not in_flight and not pending:
+                                item = self._inbox.get()
+                            elif (self._batch_ok[slot]
+                                    and len(pending) < self._max_batch):
+                                item = self._inbox.get(timeout=0.001)
+                            else:
+                                item = self._inbox.get(block=False)
+                        except queue.Empty:
+                            break
+                        if item is _SHUTDOWN:
+                            return
                         if self._closing.is_set():
+                            # Drop queued tasks during shutdown; keep
+                            # draining until this thread's sentinel
+                            # arrives.
+                            continue
+                        pending.append(item)
+                    # -------------------------------------------- send
+                    # Flush when the batch is full or the peer has run
+                    # dry.  While frames are still in flight, holding
+                    # the batch back — even with the window full — costs
+                    # nothing: the peer is busy, and every ack that
+                    # arrives meanwhile frees window for more tasks to
+                    # ride this frame, so the batch size self-clocks to
+                    # the ack rate.  (Without batching, batch_cap is 1
+                    # and every pulled task is sent at once — the pure
+                    # windowed pipeline.)
+                    batch_cap = (self._max_batch if self._batch_ok[slot]
+                                 else 1)
+                    if pending and (not in_flight
+                                    or len(pending) >= batch_cap):
+                        if self._peers[slot] is None and \
+                                not self._replace_peer_many(
+                                    slot,
+                                    [index for index, _ in pending]):
                             return
-                        self._transport.restarts += 1
-                        if not self._replace_peer(slot, index):
-                            return
-                        self._events.put(("lost", index))
+                        entries = []
+                        for index, task in pending:
+                            entries.append((next_seq, index, task))
+                            next_seq += 1
+                        pending.clear()
+                        # Extend in_flight *before* writing: a write that
+                        # fails mid-burst then loses every entry through
+                        # the single peer-death path instead of silently
+                        # stranding the not-yet-written tail.
+                        in_flight.extend(entries)
+                        try:
+                            self._write_entries(slot, entries, write_frame)
+                        except (OSError, ValueError):
+                            if not self._handle_peer_death(slot, in_flight):
+                                self._abandon_pending(pending)
+                                return
+                            in_flight.clear()
+                            continue
+                    if not in_flight:
                         continue
-                    if frame.get("kind") == "error":
-                        self._events.put(("error", index,
-                                          _frame_error(frame, index)))
-                        continue
-                    self._events.put(
-                        ("result", int(frame["index"]),
-                         MISRunResult.from_record(frame["result"])))
+                    # -------------------------------------------- ack
+                    # Block for one reply, then opportunistically drain
+                    # every further reply the worker has already
+                    # delivered.  This is the self-clock: on a
+                    # high-latency link the worker's acks pile up while
+                    # a frame is in transit, draining them frees a large
+                    # chunk of window at once, and the next fill sends
+                    # that chunk as one batched frame — batch size adapts
+                    # to the latency x service-rate product with no
+                    # tuning.
+                    peer = self._peers[slot]
+                    first = True
+                    while in_flight and (first or _reply_ready(peer)):
+                        first = False
+                        waited = time.monotonic()
+                        try:
+                            frame = read_frame(peer.reader)
+                        except (OSError, ValueError):
+                            frame = None
+                        if frame is None:
+                            if not self._handle_peer_death(slot,
+                                                           in_flight):
+                                self._abandon_pending(pending)
+                                return
+                            in_flight.clear()
+                            break
+                        slow = (self._ack_timeout is not None
+                                and time.monotonic() - waited
+                                > self._ack_timeout)
+                        seq, index, _task = in_flight.popleft()
+                        self._check_reply(frame, seq, index)
+                        self._on_ack(slot, slow=slow)
+                        if frame.get("kind") == "error":
+                            self._events.put(("error", index,
+                                              _frame_error(frame, index)))
+                            continue
+                        self._events.put(
+                            ("result", index,
+                             MISRunResult.from_record(frame["result"])))
                 except BaseException as error:
                     # Anything unexpected — a malformed frame shape, a
                     # result record from_record rejects — must surface
@@ -606,7 +995,8 @@ class _FramedSession(TransportSession):
                     # dead slot with no event would leave the scheduler
                     # blocked in next_event() forever.
                     self._retire(slot)
-                    self._events.put(("error", index, error))
+                    anchor = in_flight[0][1] if in_flight else -1
+                    self._events.put(("error", anchor, error))
                     return
         finally:
             self._drop_peer(slot, graceful=True)
@@ -620,21 +1010,33 @@ class _SubprocessSession(_FramedSession):
 
         peer = _SubprocessPeer()
         try:
-            _check_hello(read_frame(peer.reader),
-                         f"worker subprocess (pid {peer.proc.pid})")
+            hello = read_frame(peer.reader)
+            _check_hello(hello, f"worker subprocess (pid {peer.proc.pid})")
         except ConfigurationError:
             peer.dispose(graceful=False)
             raise
+        peer.features = tuple(hello.get("features", ()))
         return peer
 
 
 class SubprocessTransport(Transport):
-    """Crash-recovering worker subprocesses over stdio pipes."""
+    """Crash-recovering worker subprocesses over stdio pipes.
+
+    Local pipes have no per-frame RTT worth amortising, so the window
+    defaults to 1 (the historical behaviour); both knobs exist mainly so
+    the windowed protocol can be exercised without sockets.
+    """
 
     name = "subprocess"
 
+    def __init__(self, window=1, max_batch=1) -> None:
+        super().__init__()
+        self.window = resolve_window(window)
+        self.max_batch = resolve_max_batch(max_batch)
+
     def open(self, slots: int) -> _SubprocessSession:
-        return _SubprocessSession(self, slots)
+        return _SubprocessSession(self, slots, window=self.window,
+                                  max_batch=self.max_batch)
 
 
 class _SocketSession(_FramedSession):
@@ -646,24 +1048,47 @@ class _SocketSession(_FramedSession):
         self._reconnect_attempts = transport.reconnect_attempts
         self._reconnect_delay = transport.reconnect_delay
         self._connect_timeout = transport.connect_timeout
-        super().__init__(transport, len(addresses), peers=peers)
+        super().__init__(transport, len(addresses), peers=peers,
+                         window=transport.window,
+                         max_batch=transport.max_batch,
+                         ack_timeout=transport.ack_timeout,
+                         frame_latency=transport.frame_latency)
+        # A thread close() cannot interrupt is at worst one dial deep;
+        # wait that out (plus slack) instead of joining forever.
+        self._shutdown_grace = transport.connect_timeout + 1.0
 
     def _make_peer(self, slot: int) -> _SocketPeer:
         # Reconnect path only (initial connections are dialled eagerly by
         # SocketTransport.open): if merely the connection died the worker
         # answers again; if the worker process died the dial fails and
         # the slot is retired — its tasks fail over to the other workers.
+        # Every step aborts on the closing flag so close() never waits on
+        # a slot grinding through reconnect attempts.
         last_error: Optional[Exception] = None
         for attempt in range(self._reconnect_attempts):
-            if attempt:
-                time.sleep(self._reconnect_delay)
+            if attempt and self._closing.wait(self._reconnect_delay):
+                break
+            if self._closing.is_set():
+                break
             try:
-                return _dial_worker(self._addresses[slot],
+                peer = _dial_worker(self._addresses[slot],
                                     self._connect_timeout)
             except ConfigurationError:
                 raise
             except OSError as error:
                 last_error = error
+                continue
+            if self._closing.is_set():
+                # close() already swept the peer table; a connection
+                # registered now would leak.
+                peer.dispose(graceful=False)
+                break
+            return peer
+        if self._closing.is_set():
+            raise WorkerCrashError(
+                f"session closing; abandoning reconnect to worker "
+                f"{format_address(*self._addresses[slot])}"
+            )
         raise WorkerCrashError(
             f"worker {format_address(*self._addresses[slot])} is gone "
             f"({last_error}); retiring its slot"
@@ -677,10 +1102,12 @@ def _dial_worker(address: Tuple[str, int],
 
     peer = _SocketPeer(address, connect_timeout)
     try:
-        _check_hello(read_frame(peer.reader), peer.origin)
+        hello = read_frame(peer.reader)
+        _check_hello(hello, peer.origin)
     except (ConfigurationError, OSError):
         peer.dispose(graceful=False)
         raise
+    peer.features = tuple(hello.get("features", ()))
     peer.sock.settimeout(None)
     return peer
 
@@ -698,6 +1125,15 @@ class SocketTransport(Transport):
     grid.  Each connection keeps the independent reconnect/retire/requeue
     semantics — a multi-slot worker losing one connection fails only that
     slot over.
+
+    *window* / *max_batch* configure the sliding-window pipelining (see
+    the module docstring): the default adaptive window starts at 1 per
+    connection and self-tunes, so remote workers stop paying one RTT per
+    task.  *ack_timeout*, when set, treats an ack slower than that many
+    seconds as a congestion signal and halves the window.
+    *frame_latency* injects a coordinator-side sleep before every frame
+    written — benchmark/test plumbing that simulates a slow link without
+    needing one.
     """
 
     name = "socket"
@@ -705,12 +1141,19 @@ class SocketTransport(Transport):
     def __init__(self, workers: Union[None, str, Sequence[str]] = None,
                  connect_timeout: float = 10.0,
                  reconnect_attempts: int = 2,
-                 reconnect_delay: float = 0.2) -> None:
+                 reconnect_delay: float = 0.2,
+                 window=ADAPTIVE_WINDOW, max_batch=1,
+                 ack_timeout: Optional[float] = None,
+                 frame_latency: float = 0.0) -> None:
         super().__init__()
         self.workers = workers
         self.connect_timeout = connect_timeout
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_delay = reconnect_delay
+        self.window = resolve_window(window)
+        self.max_batch = resolve_max_batch(max_batch)
+        self.ack_timeout = ack_timeout
+        self.frame_latency = frame_latency
 
     def addresses(self) -> List[Tuple[str, int]]:
         workers = self.workers

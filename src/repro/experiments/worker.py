@@ -12,20 +12,32 @@ length followed by that many bytes of UTF-8 JSON.
 
 Worker → coordinator, once per connection (the handshake)::
 
-    {"kind": "hello", "schema": CODE_SCHEMA_VERSION, "pid": 4242}
+    {"kind": "hello", "schema": CODE_SCHEMA_VERSION, "pid": 4242,
+     "features": ["batch", "window"]}
 
 Coordinator → worker::
 
-    {"kind": "task", "index": 7, "task": {...SweepTask.to_json()...}}
+    {"kind": "task", "seq": 0, "index": 7, "task": {...SweepTask.to_json()...}}
+    {"kind": "tasks", "items": [{"seq": 1, "index": 8, "task": {...}}, ...]}
 
-Worker → coordinator::
+Worker → coordinator, one reply per task, in the order received::
 
-    {"kind": "result", "index": 7, "result": {...MISRunResult.to_record()...}}
-    {"kind": "error",  "index": 7, "error": "<traceback text>"}
+    {"kind": "result", "seq": 0, "index": 7,
+     "result": {...MISRunResult.to_record()...}}
+    {"kind": "error",  "seq": 0, "index": 7, "error": "<traceback text>"}
 
 The hello's schema version is :data:`~repro.experiments.store
 .CODE_SCHEMA_VERSION` — the same version that keys the results store —
 so a coordinator refuses workers whose metrics would not be comparable.
+Its ``features`` list advertises protocol capabilities: ``"window"``
+(the coordinator may keep several frames in flight on this connection —
+safe because the worker serves each connection sequentially and replies
+strictly in send order) and ``"batch"`` (the ``tasks`` frame above,
+carrying several tiny tasks in one frame).  A coordinator talking to a
+hello without these features degrades to the historical one-frame-
+at-a-time protocol; ``seq`` is optional on task frames and echoed on
+replies when present, which is how the coordinator cross-checks its
+per-connection in-flight tracking.
 
 EOF on the task stream is the shutdown signal (over TCP the worker then
 loops back to ``accept``, so a long-lived worker serves many sweeps).  A
@@ -107,9 +119,14 @@ def write_frame(stream: BinaryIO, record: Dict[str, Any]) -> None:
 
 
 def hello_frame() -> Dict[str, Any]:
-    """The handshake frame a worker sends once per connection."""
+    """The handshake frame a worker sends once per connection.
+
+    ``features`` advertises the windowed/batched protocol extensions (see
+    the module docstring) so coordinators degrade gracefully against
+    workers that predate them — and vice versa.
+    """
     return {"kind": "hello", "schema": CODE_SCHEMA_VERSION,
-            "pid": os.getpid()}
+            "pid": os.getpid(), "features": ["batch", "window"]}
 
 
 class _InjectedConnectionDeath(Exception):
@@ -168,40 +185,51 @@ def serve_stream(reader: BinaryIO, writer: BinaryIO,
         frame = read_frame(reader)
         if frame is None:
             return handled
-        task = SweepTask.from_json(frame["task"])
-        handled += 1
-        if stats is not None:
-            stats["tasks"] = handled
-        maybe_crash(task, scope=fault_scope)
-        try:
-            result = run_task(task)
-        except Exception as error:
-            # ``configuration`` lets the coordinator re-raise a
-            # ConfigurationError as itself (matching what an in-process
-            # transport would do), so the CLI renders it as a clean
-            # `error:` line on every transport.
-            write_frame(writer, {
-                "kind": "error",
-                "index": frame["index"],
-                "message": str(error),
-                "configuration": isinstance(error, ConfigurationError),
-                "error": traceback.format_exc(),
-            })
-            continue
-        write_frame(writer, {"kind": "result", "index": frame["index"],
-                             "result": result.to_record()})
+        # A windowed coordinator may batch several tiny tasks into one
+        # `tasks` frame; each item gets its own reply, in order, so the
+        # coordinator's head-of-window matching never changes.
+        items = frame["items"] if frame.get("kind") == "tasks" else [frame]
+        for item in items:
+            task = SweepTask.from_json(item["task"])
+            handled += 1
+            if stats is not None:
+                stats["tasks"] = handled
+            maybe_crash(task, scope=fault_scope)
+            # `seq` is echoed when present so the coordinator can
+            # cross-check its in-flight tracking; old coordinators never
+            # send it and get the historical reply shape back.
+            reply = {"index": item["index"]}
+            if "seq" in item:
+                reply["seq"] = item["seq"]
+            try:
+                result = run_task(task)
+            except Exception as error:
+                # ``configuration`` lets the coordinator re-raise a
+                # ConfigurationError as itself (matching what an
+                # in-process transport would do), so the CLI renders it
+                # as a clean `error:` line on every transport.
+                write_frame(writer, {
+                    "kind": "error",
+                    "message": str(error),
+                    "configuration": isinstance(error, ConfigurationError),
+                    "error": traceback.format_exc(),
+                    **reply,
+                })
+                continue
+            write_frame(writer, {"kind": "result",
+                                 "result": result.to_record(), **reply})
 
 
 def parse_listen_address(listen: str) -> Tuple[str, int]:
     """Parse a ``HOST:PORT`` / ``[IPV6]:PORT`` listen address (port 0 =
     ephemeral)."""
     try:
-        return split_host_port(listen)
-    except ValueError:
+        return split_host_port(listen, allow_ephemeral=True)
+    except ValueError as error:
         raise ConfigurationError(
-            f"invalid listen address '{listen}': expected HOST:PORT or "
-            "[IPV6]:PORT (e.g. 0.0.0.0:8750, [::1]:8750; port 0 for an "
-            "ephemeral port)"
+            f"invalid listen address '{listen}': {error} — --listen takes "
+            "HOST:PORT or [IPV6]:PORT (e.g. 0.0.0.0:8750, [::1]:8750; "
+            "port 0 for an OS-assigned ephemeral port)"
         ) from None
 
 
@@ -334,6 +362,11 @@ def serve(listen: str, max_connections: Optional[int] = None,
             # Timeout mode must not leak onto the connection: result
             # frames legitimately block for as long as a task computes.
             connection.settimeout(None)
+            # Batched replies are small writes fired back-to-back;
+            # without TCP_NODELAY, Nagle holds each one until the
+            # coordinator's delayed ACK (~40ms), pacing the pipelined
+            # protocol down to stop-and-wait speed.
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             accepted += 1
             # Keep only live threads around for the shutdown join — a
             # serve-forever worker must not accumulate one dead Thread

@@ -208,6 +208,51 @@ class TestMakeBackend:
         assert backend.scheduler.name == "cost-model"
         assert backend.transport.name == "process"
 
+    def test_make_backend_passes_window_and_batch_to_the_socket_transport(
+            self):
+        from repro.experiments.transports import ADAPTIVE_WINDOW_CAP
+
+        backend = make_backend(workers="127.0.0.1:1", window=4, max_batch=8)
+        assert backend.transport.window == 4
+        assert backend.transport.max_batch == 8
+        backend = make_backend(workers="127.0.0.1:1", window="adaptive")
+        assert backend.transport.window == ADAPTIVE_WINDOW_CAP
+        # Untouched selectors keep the transport defaults.
+        assert make_backend(workers="127.0.0.1:1").transport.max_batch == 1
+
+    def test_make_backend_window_composes_the_subprocess_transport(self):
+        """--window with the async alias (or the subprocess transport)
+        composes a windowed ComposedBackend instead of the historical
+        AsyncSubprocessBackend — which has no windows to configure."""
+        from repro.experiments.transports import SubprocessTransport
+
+        backend = make_backend(backend="async", window=4, max_batch=2,
+                               jobs=2)
+        assert isinstance(backend, ComposedBackend)
+        assert isinstance(backend.transport, SubprocessTransport)
+        assert backend.transport.window == 4
+        assert backend.transport.max_batch == 2
+        backend = make_backend(transport="subprocess", window=2, jobs=2)
+        assert backend.transport.window == 2
+        # Without pipeline flags the alias keeps its historical class.
+        assert make_backend(backend="async", jobs=2).name == "async"
+
+    def test_make_backend_rejects_window_for_unframed_selections(self):
+        for selector in (dict(backend="thread"), dict(transport="process"),
+                         dict()):
+            with pytest.raises(ConfigurationError,
+                               match="--window/--max-batch"):
+                make_backend(window=4, **selector)
+            with pytest.raises(ConfigurationError,
+                               match="--window/--max-batch"):
+                make_backend(max_batch=8, **selector)
+
+    def test_make_backend_rejects_invalid_window_values_eagerly(self):
+        with pytest.raises(ConfigurationError, match="invalid window"):
+            make_backend(workers="127.0.0.1:1", window="turbo")
+        with pytest.raises(ConfigurationError, match="invalid max_batch"):
+            make_backend(workers="127.0.0.1:1", max_batch=0)
+
 
 class TestBackendStreams:
     @pytest.mark.parametrize("name", sorted(BACKENDS))

@@ -171,6 +171,50 @@ class TestCLI:
                             "--workers", multislot_socket_worker]) == 0
         assert capsys.readouterr().out == default_out
 
+    def test_sweep_with_windowed_socket_matches_default(
+            self, multislot_socket_worker, capsys):
+        """--window/--max-batch are wall-clock-only flags: a pipelined,
+        batched socket sweep prints the exact bytes of the default run."""
+        argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
+                "--families", "gnp", "--repetitions", "2", "--seed", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--workers", multislot_socket_worker,
+                            "--window", "adaptive", "--max-batch", "8"]) == 0
+        assert capsys.readouterr().out == default_out
+        assert main(argv + ["--workers", multislot_socket_worker,
+                            "--window", "4"]) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_window_with_non_framed_backend_renders_error(self, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1", "--backend", "thread",
+                     "--window", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--window/--max-batch" in err
+
+    def test_invalid_window_value_renders_error(self, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1", "--workers", "127.0.0.1:1",
+                     "--window", "turbo"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid window" in err
+
+    def test_sweep_rejects_out_of_range_worker_port(self, capsys):
+        assert main(["sweep", "--algorithms", "luby", "--sizes", "16",
+                     "--repetitions", "1",
+                     "--workers", "127.0.0.1:99999"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "out of range" in err
+        assert "--workers" in err
+
+    def test_worker_serve_rejects_out_of_range_listen_port(self, capsys):
+        assert main(["worker", "serve",
+                     "--listen", "127.0.0.1:99999"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "out of range" in err
+        assert "--listen" in err
+
     def test_worker_serve_invalid_slots_renders_error(self, capsys):
         assert main(["worker", "serve", "--listen", "127.0.0.1:0",
                      "--slots", "0"]) == 2

@@ -308,6 +308,27 @@ class TestSerialParallelEquivalence:
         assert repr(sweep.rows()) == repr(serial_baseline.rows())
         assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
 
+    @pytest.mark.parametrize("max_batch", [1, 8])
+    @pytest.mark.parametrize("window", [1, 4, "adaptive"])
+    def test_windowed_socket_byte_identical_to_serial(
+            self, window, max_batch, serial_baseline,
+            multislot_socket_worker):
+        """The window × batch extension of the matrix: pipelining frames
+        into a connection (any fixed window, or AIMD-grown) and batching
+        tiny tasks into ``tasks`` frames are pure wall-clock mechanics —
+        rows and fits must stay byte-identical to the serial reference at
+        every (window, max_batch) point."""
+        from repro.experiments.backends import ComposedBackend
+        from repro.experiments.transports import SocketTransport
+
+        backend = ComposedBackend(
+            transport=SocketTransport(multislot_socket_worker,
+                                      window=window, max_batch=max_batch),
+            jobs=2)
+        sweep = run_sweep(**GRID, jobs=2, backend=backend)
+        assert repr(sweep.rows()) == repr(serial_baseline.rows())
+        assert sweep.fits("awake_max") == serial_baseline.fits("awake_max")
+
     @pytest.mark.parametrize(
         "backend", ["serial", "thread", "process", "async", "socket"])
     def test_stream_covers_every_task_on_every_backend(self, backend,

@@ -22,12 +22,17 @@ from repro.experiments.executor import iter_task_results, plan_sweep_tasks
 from repro.experiments.store import CODE_SCHEMA_VERSION
 from repro.experiments.sweeps import run_sweep
 from repro.experiments.transports import (
+    ADAPTIVE_WINDOW_CAP,
     TRANSPORTS,
     WORKER_FAULT_DIR_ENV,
     SocketTransport,
+    SubprocessTransport,
     available_transports,
     parse_worker_addresses,
+    resolve_max_batch,
     resolve_transport,
+    resolve_window,
+    split_host_port,
 )
 from repro.experiments.worker import write_frame
 
@@ -547,3 +552,274 @@ class TestSubprocessTransportHygiene:
         run_sweep(algorithms=["luby"], sizes=[16], repetitions=1, seed=1,
                   backend=backend)
         assert backend.worker_restarts == 0
+
+    def test_concurrent_restart_counts_lose_no_increment(self):
+        """Regression for the unsynchronised ``restarts += 1``: many slot
+        threads reporting peer deaths at once used to lose increments (a
+        classic read-modify-write race).  16 threads counting 500
+        restarts each must land on exactly 8000."""
+        import sys
+
+        transport = SubprocessTransport()
+        barrier = threading.Barrier(16)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(500):
+                transport.count_restart()
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # provoke interleaving aggressively
+        try:
+            threads = [threading.Thread(target=hammer) for _ in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert transport.restarts == 16 * 500
+
+
+class TestPortRangeValidation:
+    """Satellite: out-of-range ports fail at parse time with flag advice,
+    not later as confusing OS errors."""
+
+    @pytest.mark.parametrize("bad", ["host:0", "host:99999", "host:65536",
+                                     "[::1]:0", "[::1]:70000"])
+    def test_workers_reject_out_of_range_ports(self, bad):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_worker_addresses(bad)
+        message = str(excinfo.value)
+        assert "invalid worker address" in message
+        assert "out of range" in message
+        assert "--workers" in message
+
+    @pytest.mark.parametrize("bad", ["host:99999", "host:65536",
+                                     "[::1]:70000"])
+    def test_listen_rejects_out_of_range_ports(self, bad):
+        from repro.experiments.worker import parse_listen_address
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_listen_address(bad)
+        message = str(excinfo.value)
+        assert "invalid listen address" in message
+        assert "out of range" in message
+        assert "--listen" in message
+
+    def test_listen_keeps_the_ephemeral_port_0(self):
+        """Port 0 stays valid for --listen only: a listener may ask the
+        OS for an ephemeral port, but dialling port 0 can never work."""
+        from repro.experiments.worker import parse_listen_address
+
+        assert parse_listen_address("127.0.0.1:0") == ("127.0.0.1", 0)
+        assert parse_listen_address("[::]:0") == ("::", 0)
+
+    def test_split_host_port_boundaries(self):
+        assert split_host_port("host:1") == ("host", 1)
+        assert split_host_port("host:65535") == ("host", 65535)
+        assert split_host_port("host:0", allow_ephemeral=True) == ("host", 0)
+        with pytest.raises(ValueError, match="out of range"):
+            split_host_port("host:0")
+        with pytest.raises(ValueError, match="out of range"):
+            split_host_port("host:65536", allow_ephemeral=True)
+
+
+class TestCloseDuringReconnect:
+    def test_close_returns_promptly_while_a_slot_reconnects(
+            self, tmp_path, spawn_socket_worker):
+        """Regression: close() used to join slot threads without a bound,
+        and a thread grinding through a long reconnect loop (sleeping
+        between attempts with no peer to interrupt) would hang the whole
+        teardown for reconnect_attempts × reconnect_delay.  With the
+        closing-aware reconnect loop, close() returns in seconds even
+        with a 100 × 8s reconnect schedule in progress."""
+        tasks = plan_sweep_tasks(algorithms=["luby"], sizes=[16],
+                                 repetitions=1, seed=1)
+        marker = tmp_path / f"crash-run_seed-{tasks[0].run_seed}"
+        marker.write_text("")
+        proc, address = spawn_socket_worker(
+            extra_env={WORKER_FAULT_DIR_ENV: str(tmp_path)})
+        transport = SocketTransport(address, reconnect_attempts=100,
+                                    reconnect_delay=8.0)
+        session = transport.open(1)
+        try:
+            session.submit(0, tasks[0])
+            # The worker exits mid-task (exit 17); wait until the slot
+            # thread has observed the death and entered its reconnect
+            # loop against the now-dead address.
+            deadline = time.monotonic() + 20
+            while transport.restarts == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert transport.restarts >= 1
+        finally:
+            started = time.monotonic()
+            session.close()
+            elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        _wait_for_no_transport_threads()
+
+
+class TestWindowedProtocol:
+    """The tentpole suite: pipelined windows, batching, AIMD, downgrade."""
+
+    # Many small tasks so windows actually grow mid-sweep.
+    WGRID = dict(algorithms=["luby"], sizes=[16, 32], families=("gnp",),
+                 repetitions=4, seed=41)
+
+    def test_window_selectors_resolve(self):
+        assert resolve_window("adaptive") == ADAPTIVE_WINDOW_CAP
+        assert resolve_window(4) == 4
+        assert resolve_window("4") == 4
+        assert resolve_max_batch("8") == 8
+        transport = SocketTransport("host:8750", window="adaptive",
+                                    max_batch=8)
+        assert transport.window == ADAPTIVE_WINDOW_CAP
+        assert transport.max_batch == 8
+        assert SocketTransport("host:8750").window == ADAPTIVE_WINDOW_CAP
+        assert SubprocessTransport().window == 1  # pipes: no RTT to hide
+
+    def test_invalid_window_and_batch_selectors_rejected(self):
+        for bad in (0, -3, "turbo", 1.5, True, None):
+            with pytest.raises(ConfigurationError, match="invalid window"):
+                resolve_window(bad)
+        for bad in (0, -1, "many", 2.5, False, None):
+            with pytest.raises(ConfigurationError,
+                               match="invalid max_batch"):
+                resolve_max_batch(bad)
+        with pytest.raises(ConfigurationError, match="invalid window"):
+            SocketTransport("host:8750", window=0)
+        with pytest.raises(ConfigurationError, match="invalid max_batch"):
+            SubprocessTransport(max_batch=0)
+
+    def test_adaptive_window_grows_and_fixed_window_1_does_not(
+            self, spawn_socket_worker):
+        """The self-clocking actually engages: over one connection the
+        adaptive window must climb past 1 as acks arrive, while an
+        explicit window=1 pins the historical strict alternation — with
+        byte-identical rows either way."""
+        proc, address = spawn_socket_worker()
+        serial = run_sweep(**self.WGRID)
+        pinned = ComposedBackend(transport=SocketTransport(address,
+                                                           window=1))
+        assert repr(run_sweep(**self.WGRID, backend=pinned).rows()) == \
+            repr(serial.rows())
+        assert pinned.transport.peak_window == 1
+        adaptive = ComposedBackend(transport=SocketTransport(address))
+        assert repr(run_sweep(**self.WGRID, backend=adaptive).rows()) == \
+            repr(serial.rows())
+        assert adaptive.transport.peak_window > 1
+
+    def test_slow_acks_keep_the_window_at_1(self, spawn_socket_worker):
+        """ack_timeout=0 marks every ack slow, so the multiplicative-
+        decrease path runs on each one: the window must never leave 1 —
+        and, like every window schedule, the rows stay byte-identical."""
+        proc, address = spawn_socket_worker()
+        serial = run_sweep(**self.WGRID)
+        backend = ComposedBackend(transport=SocketTransport(
+            address, ack_timeout=0.0))
+        assert repr(run_sweep(**self.WGRID, backend=backend).rows()) == \
+            repr(serial.rows())
+        assert backend.transport.peak_window == 1
+
+    def test_windowed_subprocess_byte_identical(self):
+        """The windowed protocol is transport-agnostic: worker
+        subprocesses over pipes honour windows and batch frames too."""
+        serial = run_sweep(**self.WGRID)
+        backend = ComposedBackend(
+            transport=SubprocessTransport(window=4, max_batch=4), jobs=2)
+        sweep = run_sweep(**self.WGRID, backend=backend)
+        assert repr(sweep.rows()) == repr(serial.rows())
+        _wait_for_no_transport_threads()
+
+    def test_mid_window_connection_kill_requeues_every_in_flight_frame(
+            self, tmp_path, spawn_socket_worker):
+        """A connection dying with a window full of frames loses nothing:
+        every in-flight frame is reported lost and requeued (each task
+        still executes to completion exactly once), the worker process
+        survives its slot's death, and rows stay byte-identical."""
+        serial = run_sweep(**self.WGRID)
+        tasks = plan_sweep_tasks(**self.WGRID)
+        victim = tasks[len(tasks) // 2]  # mid-grid: windows have grown
+        marker = tmp_path / f"crash-run_seed-{victim.run_seed}"
+        marker.write_text("")
+        proc, address = spawn_socket_worker(
+            extra_env={WORKER_FAULT_DIR_ENV: str(tmp_path)}, slots=2)
+
+        backend = ComposedBackend(transport=SocketTransport(
+            f"{address}*2", window=4, max_batch=2))
+        pairs = list(iter_task_results(tasks, backend=backend))
+
+        assert not marker.exists()  # the fault actually fired
+        assert proc.poll() is None  # connection-scope fault: process lives
+        assert backend.worker_restarts >= 1
+        assert sorted(t.run_seed for t, _ in pairs) == sorted(
+            t.run_seed for t in tasks)
+        sweep = run_sweep(**self.WGRID, backend=ComposedBackend(
+            transport=SocketTransport(f"{address}*2", window=4,
+                                      max_batch=2)))
+        assert repr(sweep.rows()) == repr(serial.rows())
+
+    def test_peer_without_window_capability_degrades_to_single_frame(self):
+        """Old-worker downgrade: a hello without the window/batch
+        features pins the coordinator to one frame in flight and no
+        ``tasks`` frames — verified by the worker itself, which fails the
+        sweep on any pipelined or batched frame it observes."""
+        from repro.experiments.executor import SweepTask, run_task
+        from repro.experiments.worker import read_frame
+
+        grid = dict(algorithms=["luby"], sizes=[16], families=("gnp",),
+                    repetitions=3, seed=5)
+        serial = run_sweep(**grid)
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        violations = []
+
+        def legacy_worker():
+            connection, _ = server.accept()
+            with connection:
+                reader = connection.makefile("rb")
+                writer = connection.makefile("wb")
+                # A pre-windowing worker: hello with no features list.
+                write_frame(writer, {"kind": "hello",
+                                     "schema": CODE_SCHEMA_VERSION,
+                                     "pid": 0})
+                while True:
+                    frame = read_frame(reader)
+                    if frame is None:
+                        return
+                    if frame.get("kind") != "task":
+                        violations.append(
+                            f"unsupported frame kind {frame.get('kind')!r}")
+                        return
+                    # A window-1 coordinator never has a second frame
+                    # outstanding before our reply.
+                    connection.setblocking(False)
+                    try:
+                        pending = connection.recv(1, socket.MSG_PEEK)
+                    except BlockingIOError:
+                        pending = b""
+                    finally:
+                        connection.setblocking(True)
+                    if pending:
+                        violations.append(
+                            "a second frame was outstanding before the "
+                            "previous reply")
+                        return
+                    result = run_task(SweepTask.from_json(frame["task"]))
+                    # Legacy reply shape: index only, no seq echo.
+                    write_frame(writer, {"kind": "result",
+                                         "index": frame["index"],
+                                         "result": result.to_record()})
+
+        thread = threading.Thread(target=legacy_worker, daemon=True)
+        thread.start()
+        try:
+            sweep = run_sweep(**grid, backend=ComposedBackend(
+                transport=SocketTransport(f"127.0.0.1:{port}",
+                                          window="adaptive", max_batch=8)))
+            assert violations == []
+            assert repr(sweep.rows()) == repr(serial.rows())
+        finally:
+            server.close()
+            thread.join(timeout=5)
