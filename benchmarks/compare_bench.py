@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against a committed baseline.
+
+CI's benchmark-smoke job writes ``BENCH_pr.json`` (every ``bench_record``
+call from the benchmark suite merges into it) and this script diffs it
+against the committed ``BENCH_seed.json``::
+
+    python benchmarks/compare_bench.py BENCH_pr.json BENCH_seed.json
+
+Every *shared* numeric leaf is listed with its delta; leaves whose
+dotted path ends in ``tasks_per_second`` are **gated** — any gated key
+regressing by more than :data:`REGRESSION_THRESHOLD` (30%) fails the
+run.  Keys present on only one side are reported but never gated (new
+benchmarks appear, machines differ in what they record).
+
+Throughput over a sub-second measurement is noise, not signal — on a
+shared CI runner the same smoke benchmark swings 3× run to run — so a
+gated key is only *enforced* when its sibling duration key (same dotted
+prefix, ``tasks_per_second`` → ``seconds``) reaches
+:data:`MIN_GATE_SECONDS` on either side.  That skews exactly the right
+way: a real collapse (a serialised pipeline, an accidental O(n²))
+inflates the PR-side duration past the floor and fails the gate, while
+scheduler jitter on a 100ms measurement is listed as ``noisy`` and
+ignored.  A gated key with no sibling duration is enforced
+unconditionally.
+
+``--warn-only`` reports the same table and regressions but always exits
+0 — the escape hatch CI wires to the ``perf-regression-ok`` PR label for
+intentional trade-offs.  Exit codes: 0 ok (or warn-only), 1 gated
+regression, 2 unusable input (missing/invalid file).
+
+Stdlib only, importable (``load``, ``compare``, ``main``) so the unit
+tests can feed it synthetic regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterator, Tuple
+
+#: Fractional throughput loss on a gated key that fails the run.
+REGRESSION_THRESHOLD = 0.30
+
+#: A dotted path is gated when it ends with this suffix.
+GATED_SUFFIX = "tasks_per_second"
+
+#: Suffix of the sibling key holding the measurement's wall-clock cost.
+DURATION_SUFFIX = "seconds"
+
+#: Minimum wall clock (either side) for a gated key to be enforced.
+MIN_GATE_SECONDS = 0.5
+
+
+def numeric_leaves(data: Any, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf of *data*."""
+    if isinstance(data, bool):
+        return
+    if isinstance(data, (int, float)):
+        yield prefix, float(data)
+    elif isinstance(data, dict):
+        for key in sorted(data):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(data[key], child)
+    elif isinstance(data, list):
+        for position, item in enumerate(data):
+            yield from numeric_leaves(item, f"{prefix}[{position}]")
+
+
+def load(path: str) -> Dict[str, float]:
+    """Load *path* and flatten it to ``{dotted.path: value}``."""
+    with open(path, encoding="utf-8") as handle:
+        return dict(numeric_leaves(json.load(handle)))
+
+
+def _measured_long_enough(path: str, pr: Dict[str, float],
+                          seed: Dict[str, float]) -> bool:
+    """Whether *path*'s sibling duration clears :data:`MIN_GATE_SECONDS`.
+
+    ``a.b.serial_tasks_per_second`` → ``a.b.serial_seconds``; when
+    neither file records the sibling, the key is assumed long enough
+    (enforced unconditionally).
+    """
+    sibling = path[:-len(GATED_SUFFIX)] + DURATION_SUFFIX
+    durations = [source[sibling] for source in (pr, seed)
+                 if sibling in source]
+    if not durations:
+        return True
+    return max(durations) >= MIN_GATE_SECONDS
+
+
+def compare(pr: Dict[str, float], seed: Dict[str, float]) -> Dict[str, Any]:
+    """Diff two flattened benchmark maps.
+
+    Returns ``{"rows": [...], "regressions": [...], "only_pr": [...],
+    "only_seed": [...]}`` where each row is ``(path, seed_value,
+    pr_value, delta_fraction_or_None, gate_state)`` — gate_state one of
+    ``"gated"`` (enforced), ``"noisy"`` (gated suffix but sub-floor
+    measurement) or ``""`` — and *regressions* holds the enforced rows
+    past :data:`REGRESSION_THRESHOLD`.
+    """
+    shared = sorted(set(pr) & set(seed))
+    rows = []
+    regressions = []
+    for path in shared:
+        seed_value, pr_value = seed[path], pr[path]
+        delta = ((pr_value - seed_value) / seed_value if seed_value
+                 else None)
+        if not path.endswith(GATED_SUFFIX):
+            gate_state = ""
+        elif _measured_long_enough(path, pr, seed):
+            gate_state = "gated"
+        else:
+            gate_state = "noisy"
+        rows.append((path, seed_value, pr_value, delta, gate_state))
+        if (gate_state == "gated" and delta is not None
+                and -delta > REGRESSION_THRESHOLD):
+            regressions.append((path, seed_value, pr_value, delta))
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "only_pr": sorted(set(pr) - set(seed)),
+        "only_seed": sorted(set(seed) - set(pr)),
+    }
+
+
+def _print_report(result: Dict[str, Any]) -> None:
+    rows = result["rows"]
+    if not rows:
+        print("no shared numeric keys between PR and seed benchmarks")
+    else:
+        width = max(len(path) for path, *_ in rows)
+        print(f"{'key'.ljust(width)}  {'seed':>12}  {'pr':>12}  "
+              f"{'delta':>8}  gate")
+        for path, seed_value, pr_value, delta, gate_state in rows:
+            delta_text = "n/a" if delta is None else f"{delta:+.1%}"
+            print(f"{path.ljust(width)}  {seed_value:>12.3f}  "
+                  f"{pr_value:>12.3f}  {delta_text:>8}  {gate_state}")
+    for label, key in (("only in PR", "only_pr"), ("only in seed",
+                                                   "only_seed")):
+        extra = result[key]
+        if extra:
+            shown = ", ".join(extra[:8])
+            more = f", … and {len(extra) - 8} more" if len(extra) > 8 else ""
+            print(f"{label} ({len(extra)} key(s), not gated): "
+                  f"{shown}{more}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when a gated benchmark key regresses past "
+                    f"{REGRESSION_THRESHOLD:.0%}")
+    parser.add_argument("pr_json", help="benchmark JSON from this run")
+    parser.add_argument("seed_json", help="committed baseline JSON")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (CI wires "
+                             "this to the perf-regression-ok PR label)")
+    args = parser.parse_args(argv)
+
+    try:
+        pr = load(args.pr_json)
+        seed = load(args.seed_json)
+    except (OSError, ValueError) as error:
+        print(f"compare_bench: cannot load benchmarks: {error}",
+              file=sys.stderr)
+        return 2
+
+    result = compare(pr, seed)
+    _print_report(result)
+    if not result["regressions"]:
+        print(f"benchmark gate: OK (no gated key regressed "
+              f">{REGRESSION_THRESHOLD:.0%})")
+        return 0
+    print(f"benchmark gate: {len(result['regressions'])} gated key(s) "
+          f"regressed more than {REGRESSION_THRESHOLD:.0%} vs seed:",
+          file=sys.stderr)
+    for path, seed_value, pr_value, delta in result["regressions"]:
+        print(f"  {path}: {seed_value:.3f} -> {pr_value:.3f} "
+              f"({delta:+.1%})", file=sys.stderr)
+    if args.warn_only:
+        print("warn-only mode: not failing the run", file=sys.stderr)
+        return 0
+    print("apply the 'perf-regression-ok' label (or update "
+          "BENCH_seed.json) if this trade-off is intentional",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

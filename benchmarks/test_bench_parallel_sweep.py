@@ -111,7 +111,7 @@ def test_bench_backend_matrix(repro_scale, bench_record):
 
     try:
         reference = None
-        rows, numbers = [], {}
+        rows, numbers, telemetry = [], {}, {}
         # The scheduler × transport grid, plus two windowed socket
         # variants (fifo only, to keep the matrix inside its CI budget):
         # the strict window-1 alternation vs the pipelined+batched
@@ -147,6 +147,13 @@ def test_bench_backend_matrix(repro_scale, bench_record):
                          "tasks_per_s": round(rate, 2)})
             numbers[f"{label}_seconds"] = round(seconds, 4)
             numbers[f"{label}_tasks_per_second"] = round(rate, 3)
+            # Machine-readable transport telemetry per framed combo:
+            # the per-worker RTT/frame/batch counters land next to the
+            # throughput they explain.  Observational (the regression
+            # gate only gates *_tasks_per_second keys).
+            workers_block = backend.telemetry().get("workers")
+            if workers_block:
+                telemetry[label] = workers_block
     finally:
         for proc, _ in workers:
             proc.kill()
@@ -157,7 +164,8 @@ def test_bench_backend_matrix(repro_scale, bench_record):
                                    f"({task_count} tasks, jobs={jobs}, "
                                    "socket = 2 local workers)"))
     bench_record("backend_matrix", scale=repro_scale, tasks=task_count,
-                 jobs=jobs, cpu_count=os.cpu_count(), **numbers)
+                 jobs=jobs, cpu_count=os.cpu_count(), telemetry=telemetry,
+                 **numbers)
 
 
 def test_bench_windowed_socket(bench_record):
@@ -194,14 +202,14 @@ def test_bench_windowed_socket(bench_record):
         started = time.perf_counter()
         sweep = run_sweep(**grid, backend=backend)
         return (time.perf_counter() - started, sweep,
-                backend.transport.peak_window)
+                backend.transport.peak_window, backend.telemetry())
 
     try:
         serial = run_sweep(**grid)
-        stop_and_wait_seconds, stop_and_wait, _ = timed(window=1,
-                                                        max_batch=1)
-        windowed_seconds, windowed, peak_window = timed(window="adaptive",
-                                                        max_batch=8)
+        stop_and_wait_seconds, stop_and_wait, _, _ = timed(window=1,
+                                                           max_batch=1)
+        (windowed_seconds, windowed, peak_window,
+         windowed_telemetry) = timed(window="adaptive", max_batch=8)
     finally:
         proc.kill()
         proc.wait()
@@ -239,6 +247,7 @@ def test_bench_windowed_socket(bench_record):
         windowed_tasks_per_second=round(
             task_count / max(windowed_seconds, 1e-9), 3),
         speedup=round(speedup, 3),
+        telemetry=windowed_telemetry.get("workers"),
     )
     assert speedup >= 2.0, (
         f"windowed transport only {speedup:.2f}x faster than "

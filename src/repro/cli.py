@@ -55,7 +55,8 @@ from repro.experiments.registry import available_experiments, run_experiment
 from repro.experiments.store import (load_sweep_result, merge_stores,
                                      open_store)
 from repro.experiments.sweeps import run_sweep
-from repro.experiments.tables import format_table, render_sweep
+from repro.experiments.tables import (format_table, format_telemetry,
+                                      render_sweep)
 from repro.graphs.generators import FAMILIES, by_name
 
 #: Shared --help epilog for the store-aware subcommands.
@@ -98,11 +99,21 @@ _STORE_EPILOG = (
     "starts at 1 and self-tunes (AIMD: +1 per acked result, halved on "
     "reconnect or a slow ack), so remote workers stop paying one "
     "round-trip per task; --window N caps it, --window adaptive is the "
-    "default, and --max-batch N groups tiny tasks into one frame.  A "
+    "default, and --max-batch N groups tiny tasks into one frame.  "
+    "What counts as a slow ack self-calibrates: every connection "
+    "carries a Jacobson/Karels RTT estimator (EWMA srtt + rttvar per "
+    "acked frame) and halves its window when an ack exceeds the "
+    "estimator's srtt + 4*rttvar timeout; the same estimate paces how "
+    "long a partial batch waits for more window.  Passing an explicit "
+    "ack_timeout (library API) pins the legacy fixed threshold "
+    "instead.  --progress prints stderr progress lines plus a "
+    "per-worker telemetry table afterwards (srtt, peak window, frames, "
+    "acks, batches, requeues, reconnects, bytes) — stdout stays "
+    "byte-identical with and without it.  A "
     "connection lost mid-window requeues every in-flight frame, and "
     "workers that predate the windowed protocol are driven one frame "
-    "at a time — results are byte-identical at every window and batch "
-    "size.  Add --output/--resume so a coordinator "
+    "at a time — results are byte-identical at every window, batch "
+    "and RTT-calibration setting.  Add --output/--resume so a coordinator "
     "crash resumes instead of re-running.  Inspect a store later with "
     "'repro-mis report FILE'."
 )
@@ -153,6 +164,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser,
                         help=_WINDOW_HELP)
     parser.add_argument("--max-batch", dest="max_batch", type=int,
                         default=None, metavar="N", help=_MAX_BATCH_HELP)
+    parser.add_argument("--progress", action="store_true",
+                        help="print progress lines while the grid runs "
+                             "and a per-worker transport telemetry table "
+                             "(srtt, windows, frames, acks, batches, "
+                             "requeues, reconnects, bytes) afterwards — "
+                             "all on stderr, so stdout stays "
+                             "byte-identical with and without it")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -347,6 +365,38 @@ def _compose_backend(args: argparse.Namespace):
                         max_batch=args.max_batch)
 
 
+def _progress_printer():
+    """Build the ``--progress`` callback: stderr-only progress lines.
+
+    Prints roughly every 5% of the grid (and always the final task) so a
+    long sweep shows life without flooding CI logs.  Strictly stderr:
+    the stdout table must stay byte-identical with and without the flag
+    (the cluster-smoke CI job diffs stdout across backends).
+    """
+    def progress(task, result, done, total):
+        del result
+        step = max(1, total // 20)
+        if done == total or done % step == 0:
+            percent = 100 * done // total
+            print(f"progress: {done}/{total} tasks ({percent}%) — "
+                  f"{task.algorithm} on {task.family} n={task.n}",
+                  file=sys.stderr, flush=True)
+    return progress
+
+
+def _print_telemetry(backend) -> None:
+    """Print the backend's per-worker telemetry table to stderr."""
+    telemetry = getattr(backend, "telemetry", None)
+    if not callable(telemetry):
+        # Jobs-driven default backends are resolved inside the executor;
+        # there is no object to read counters from.
+        print("transport telemetry: unavailable (pass --backend/"
+              "--transport/--workers to compose an instrumented backend)",
+              file=sys.stderr, flush=True)
+        return
+    print(format_telemetry(telemetry()), file=sys.stderr, flush=True)
+
+
 def _write_rows_csv(rows: List[dict], destination: str) -> None:
     """Write table rows as CSV to *destination* (``-`` = stdout)."""
     if not rows:
@@ -399,6 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 keep_runs=False,
                 store=store,
                 resume=args.resume,
+                progress=_progress_printer() if args.progress else None,
             )
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -406,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             if store is not None:
                 store.close()
+        if args.progress:
+            _print_telemetry(backend)
         print(render_sweep(sweep, title="sweep results"))
         return 0 if sweep.all_verified else 1
 
@@ -420,13 +473,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = run_experiment(args.experiment_id, scale=args.scale,
                                     seed=args.seed, jobs=args.jobs,
                                     backend=backend,
-                                    store=store, resume=args.resume)
+                                    store=store, resume=args.resume,
+                                    progress=(_progress_printer()
+                                              if args.progress else None))
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         finally:
             if store is not None:
                 store.close()
+        if args.progress:
+            _print_telemetry(backend)
         print(report.render())
         return 0 if report.passed else 1
 

@@ -97,6 +97,20 @@ class ComposedBackend:
         """Cumulative worker replacements (crash-recovery accounting)."""
         return self.transport.restarts
 
+    def telemetry(self) -> Dict:
+        """Machine-readable pipeline telemetry for this backend.
+
+        The transport's per-connection/per-worker counter snapshot (RTT
+        estimates, frames, acks, batches, reconnects, bytes, windows —
+        see :mod:`repro.experiments.telemetry`) plus the scheduler's
+        retry accounting.  Purely observational: reading it never
+        touches a result byte.
+        """
+        data = self.transport.telemetry()
+        data["scheduler"] = {"name": self.scheduler.name,
+                             "requeues": self.scheduler.requeues}
+        return data
+
     def submit_tasks(
         self, tasks: Sequence[SweepTask],
     ) -> Iterator[Tuple[int, MISRunResult]]:

@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.analysis.components import run_shattering_experiment
 from repro.analysis.residual import run_residual_experiment
 from repro.core.virtual_tree import communication_set, figure_example
-from repro.experiments.executor import BackendLike
+from repro.experiments.executor import BackendLike, ProgressCallback
 from repro.experiments.sweeps import SweepResult, run_sweep
 from repro.experiments.tables import format_table
 from repro.graphs.generators import gnp_graph
@@ -115,7 +115,9 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Theorem 13: awake complexity of Awake-MIS grows ~ log log n."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -128,6 +130,7 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     return _scaling_report(
         "E1",
@@ -143,7 +146,9 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Theorem 13 comparison: Awake-MIS vs Luby / rank-greedy baselines."""
     sweep = run_sweep(
         algorithms=["awake_mis", "luby", "rank_greedy"],
@@ -156,6 +161,7 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     report = _scaling_report(
         "E2",
@@ -177,7 +183,9 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Corollary 14: the round-efficient variant trades awake for rounds."""
     sweep = run_sweep(
         algorithms=["awake_mis"],
@@ -191,6 +199,7 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     return _scaling_report(
         "E3",
@@ -209,7 +218,9 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Lemma 10: VT-MIS has O(log I) awake vs the naive O(I)."""
     sweep = run_sweep(
         algorithms=["vt_mis", "naive_greedy"],
@@ -222,6 +233,7 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     report = _scaling_report(
         "E4",
@@ -249,7 +261,9 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Lemma 11 / Corollary 12: LDT-MIS awake complexity on small components."""
     sizes = SCALE_SIZES[scale]
     sweep = run_sweep(
@@ -263,6 +277,7 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     return _scaling_report(
         "E5",
@@ -282,7 +297,9 @@ def experiment_e6(scale: str = "default", seed: SeedLike = 6,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Lemma 2: residual sparsity of randomized greedy."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     graph = gnp_graph(n, expected_degree=16.0, seed=seed)
@@ -301,7 +318,9 @@ def experiment_e7(scale: str = "default", seed: SeedLike = 7,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Lemma 3: shattering under a random 2-Delta partition."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
     result = run_shattering_experiment(
@@ -326,7 +345,9 @@ def experiment_e8(scale: str = "default", seed: SeedLike = 8,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Figures 1 and 2: the B([1,6]) worked example."""
     example = figure_example()
     expected = {"S_3": [3, 4, 5], "S_5": [5, 6], "common_round_3_5": 5}
@@ -359,7 +380,9 @@ def experiment_e9(scale: str = "default", seed: SeedLike = 9,
                   jobs: Optional[int] = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
-                  backend: "BackendLike" = None) -> ExperimentReport:
+                  backend: "BackendLike" = None,
+                  progress: "ProgressCallback" = None,
+                  ) -> ExperimentReport:
     """Node-averaged awake complexity: Awake-MIS vs Luby at larger n.
 
     Chatterjee, Gmyr and Pandurangan measure *node-averaged* awake
@@ -382,6 +405,7 @@ def experiment_e9(scale: str = "default", seed: SeedLike = 9,
         store=store,
         resume=resume,
         backend=backend,
+        progress=progress,
     )
     report = _scaling_report(
         "E9",
@@ -420,15 +444,17 @@ def run_experiment(experiment_id: str, scale: str = "default",
                    jobs: Optional[int] = 1,
                    store: Optional["ResultStore"] = None,
                    resume: bool = False,
-                   backend: BackendLike = None) -> ExperimentReport:
+                   backend: BackendLike = None,
+                   progress: ProgressCallback = None) -> ExperimentReport:
     """Run one experiment by ID (``E1`` .. ``E9``).
 
     *jobs* and *backend* are forwarded to the sweep-backed experiments
     (E1–E5, E9) and select how many workers execute the grid and on which
     execution backend; results are identical for every combination (seeds
     are planned up front by the executor).  *store*/*resume* likewise flow
-    to the sweep so interrupted grids can be continued; the single-process
-    experiments E6–E8 ignore all four.
+    to the sweep so interrupted grids can be continued, and *progress*
+    fires per executed task (the CLI's ``--progress``); the
+    single-process experiments E6–E8 ignore all five.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -439,9 +465,9 @@ def run_experiment(experiment_id: str, scale: str = "default",
     runner = EXPERIMENTS[key]
     if seed is None:
         return runner(scale, jobs=jobs, store=store, resume=resume,
-                      backend=backend)
+                      backend=backend, progress=progress)
     return runner(scale, seed, jobs=jobs, store=store, resume=resume,
-                  backend=backend)
+                  backend=backend, progress=progress)
 
 
 def available_experiments() -> List[str]:

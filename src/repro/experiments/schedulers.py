@@ -92,6 +92,10 @@ class Scheduler:
                 f"invalid max_attempts {max_attempts!r}: need a positive int"
             )
         self.max_attempts = max_attempts
+        #: Cumulative tasks re-dispatched after their slot died (one per
+        #: ``lost`` event requeued) — the scheduler half of the transport
+        #: telemetry, read by ``ComposedBackend.telemetry()``.
+        self.requeues = 0
 
     # ------------------------------------------------------------------ #
     # Policy hook
@@ -150,6 +154,7 @@ class Scheduler:
                     )
                 # Requeue at the back: a healthy sibling slot may pick the
                 # task up before the lost slot finishes being replaced.
+                self.requeues += 1
                 pending.append(index)
             else:  # pragma: no cover - defensive
                 raise WorkerCrashError(f"unknown transport event {kind!r}")

@@ -169,6 +169,15 @@ class SweepResult:
     """All cells of one sweep, with helpers for tables and fits."""
 
     cells: List[SweepCell] = field(default_factory=list)
+    #: Pipeline telemetry captured from the execution backend after the
+    #: sweep (``ComposedBackend.telemetry()``: per-worker RTT/window/
+    #: frame counters plus scheduler requeues), or ``None`` when the
+    #: backend exposes none (string aliases resolved internally, plain
+    #: pools).  Observational only — never part of rows/fits, and
+    #: excluded from equality so telemetry can never make two
+    #: byte-identical sweeps compare unequal.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False,
+                                                compare=False)
 
     def cell_for(self, algorithm: str, family: str, n: int,
                  keep_runs: bool = True) -> SweepCell:
@@ -350,4 +359,10 @@ def run_sweep(
         buffer[global_index] = run
         drain()
     drain()
+    # Attach the backend's pipeline telemetry (when it exposes any) so
+    # callers holding only the SweepResult — the CLI's --progress table,
+    # library consumers — can see what the transport actually did.
+    telemetry = getattr(backend, "telemetry", None)
+    if callable(telemetry):
+        result.telemetry = telemetry()
     return result

@@ -76,6 +76,42 @@ def render_sweep(sweep, title: str = "sweep results",
     return "\n".join(parts)
 
 
+def format_telemetry(telemetry: Dict[str, Any],
+                     title: str = "transport telemetry") -> str:
+    """Render a backend telemetry block as a per-worker text table.
+
+    *telemetry* is the dict ``ComposedBackend.telemetry()`` /
+    ``Transport.telemetry()`` returns (see :mod:`repro.experiments
+    .telemetry`): per-worker RTT estimates and frame/ack/batch/requeue/
+    reconnect/byte counters, plus transport-level restarts and the
+    scheduler's requeue accounting.  The CLI prints this to *stderr*
+    under ``--progress`` — the stdout table stays byte-identical with
+    and without it.
+    """
+    if not telemetry:
+        return f"{title}\n(no telemetry)"
+    scheduler = telemetry.get("scheduler") or {}
+    header = (f"{title} ({telemetry.get('transport', '?')} transport"
+              + (f", {scheduler.get('name')} scheduler" if scheduler else "")
+              + ")")
+    workers = telemetry.get("workers") or []
+    if not workers:
+        return (f"{header}\n(no framed connections — per-connection "
+                "counters exist only for the subprocess and socket "
+                "transports)")
+    columns = ["worker", "connections", "frames_sent", "tasks_sent",
+               "batches_sent", "acks", "slow_acks", "requeues",
+               "reconnects", "srtt_ms", "rttvar_ms", "peak_window",
+               "bytes_sent", "bytes_received"]
+    parts = [format_table(workers, columns=columns, title=header)]
+    summary = (f"transport restarts={telemetry.get('restarts', 0)} "
+               f"peak_window={telemetry.get('peak_window', 1)}")
+    if scheduler:
+        summary += f" scheduler requeues={scheduler.get('requeues', 0)}"
+    parts.append(summary)
+    return "\n".join(parts)
+
+
 def ascii_plot(series: Sequence[Tuple[float, float]], width: int = 48,
                label: str = "") -> str:
     """Render a crude horizontal-bar plot of an (x, y) series.

@@ -77,16 +77,34 @@ the shared inbox before blocking on the next reply.
 The window is adaptive (AIMD): it starts at 1, grows by one frame per
 acked result up to the configured cap (``window=N``, or
 ``window="adaptive"`` for a cap of :data:`ADAPTIVE_WINDOW_CAP`), and is
-halved on a reconnect or a slower-than-``ack_timeout`` ack, so it
-self-tunes to worker capacity.  ``max_batch=N`` additionally groups up
-to N tiny tasks into one ``tasks`` frame to amortise framing and JSON
-overhead on small-task grids.  The worker's hello advertises these
-capabilities in its ``features`` list; a peer that advertises neither is
-driven exactly like before — window 1, single-task frames.
+halved on a reconnect or a slow ack, so it self-tunes to worker
+capacity.  ``max_batch=N`` additionally groups up to N tiny tasks into
+one ``tasks`` frame to amortise framing and JSON overhead on small-task
+grids.  The worker's hello advertises these capabilities in its
+``features`` list; a peer that advertises neither is driven exactly like
+before — window 1, single-task frames.
+
+What counts as a "slow" ack is **self-calibrating**: every connection
+carries a Jacobson/Karels RTT estimator (:mod:`repro.experiments
+.telemetry`) fed one send→ack sample per frame, and by default an ack is
+slow when the blocked read exceeded the estimator's ``srtt + 4·rttvar``
+timeout analogue (only once the estimate is primed — before that nothing
+is ever "slow").  Passing an explicit ``ack_timeout`` overrides the
+calibration with the fixed legacy threshold — including ``0.0``, which
+still pins the window at 1.  The same estimator paces the batch flush: a
+partial batch held behind in-flight frames waits at most one
+deviation-padded RTT for acks to free more window, then flushes.
+
+Each connection also keeps a :class:`~repro.experiments.telemetry
+.ConnectionStats` counter block (frames, acks, batches, requeues,
+reconnects, bytes, window, srtt), surfaced per worker through
+``Transport.telemetry()`` → the sweep result, ``--progress`` and the
+benchmark matrix.
 
 None of this can touch a result byte: seeds are fixed at planning time,
-and a connection lost mid-window requeues **every** in-flight frame on
-that connection exactly like the historical single-frame loss.
+telemetry is observational, the RTT estimate only retunes *timing*, and
+a connection lost mid-window requeues **every** in-flight frame on that
+connection exactly like the historical single-frame loss.
 """
 
 from __future__ import annotations
@@ -111,6 +129,7 @@ from repro.experiments.executor import (_build_graph,
                                         run_task)
 from repro.experiments.harness import MISRunResult
 from repro.experiments.store import CODE_SCHEMA_VERSION
+from repro.experiments.telemetry import ConnectionStats, aggregate_by_worker
 
 #: Environment variable naming a directory of fault-injection markers for
 #: framed-protocol workers (see :func:`repro.experiments.worker.maybe_crash`).
@@ -306,6 +325,20 @@ def _reply_ready(peer) -> bool:
         return False
 
 
+def _reply_within(peer, timeout: float) -> bool:
+    """Whether a reply starts arriving within *timeout* seconds.
+
+    Same kernel-buffer caveat as :func:`_reply_ready`; a select error
+    reports "ready" so the blocking read path observes (and classifies)
+    the failure instead of this probe swallowing it.
+    """
+    try:
+        return bool(select.select([peer.reader], [], [],
+                                  max(0.0, timeout))[0])
+    except (OSError, ValueError):
+        return True
+
+
 class Transport:
     """Base transport: configuration + cumulative session statistics."""
 
@@ -320,6 +353,10 @@ class Transport:
         self._stats_lock = threading.Lock()
         self._restarts = 0
         self._peak_window = 1
+        #: Per-connection counter blocks, registered by framed sessions.
+        #: The list itself is guarded by the lock; each entry is written
+        #: by exactly one slot thread (see ConnectionStats).
+        self._connections: List[ConnectionStats] = []
 
     @property
     def restarts(self) -> int:
@@ -343,6 +380,31 @@ class Transport:
         with self._stats_lock:
             if window > self._peak_window:
                 self._peak_window = window
+
+    def register_connection(self, stats: ConnectionStats) -> None:
+        """Track one connection's counters for :meth:`telemetry`."""
+        with self._stats_lock:
+            self._connections.append(stats)
+
+    def telemetry(self) -> Dict:
+        """Machine-readable snapshot of everything this transport did.
+
+        Cumulative across every session the transport opened (successive
+        sweeps on one backend keep appending connections).  Per-frame
+        counters and RTT estimates only exist for the framed transports;
+        for the others this reports the transport-level basics with an
+        empty connection list.
+        """
+        with self._stats_lock:
+            tracked = list(self._connections)
+        connections = [stats.snapshot() for stats in tracked]
+        return {
+            "transport": self.name,
+            "restarts": self.restarts,
+            "peak_window": self.peak_window,
+            "connections": connections,
+            "workers": aggregate_by_worker(connections),
+        }
 
     def open(self, slots: int) -> "TransportSession":
         raise NotImplementedError
@@ -606,6 +668,13 @@ class _FramedSession(TransportSession):
         self._cwnd = [1] * slots
         self._caps = [self._window_cap] * slots
         self._batch_ok = [False] * slots
+        #: Per-slot telemetry: counters + the RTT estimator that
+        #: self-calibrates the slow-ack threshold and batch-flush hold.
+        #: Each block is written only by its own slot thread.
+        self._stats = [ConnectionStats(self._slot_label(slot), slot)
+                       for slot in range(slots)]
+        for stats in self._stats:
+            transport.register_connection(stats)
         self._peers: List = list(peers) if peers else [None] * slots
         for slot, peer in enumerate(self._peers):
             if peer is not None:
@@ -680,6 +749,11 @@ class _FramedSession(TransportSession):
     # ------------------------------------------------------------------ #
     # Transport-specific hooks
     # ------------------------------------------------------------------ #
+    def _slot_label(self, slot: int) -> str:
+        """Telemetry label for *slot*'s connection (worker address when
+        there is one; sessions without addresses group per transport)."""
+        return f"{self._transport.name}"
+
     def _make_peer(self, slot: int):
         """Create (or re-create) the peer for *slot*.
 
@@ -749,17 +823,38 @@ class _FramedSession(TransportSession):
             self._cwnd[slot] = min(self._cwnd[slot], self._caps[slot])
             self._batch_ok[slot] = (self._max_batch > 1
                                     and "batch" in features)
+            self._stats[slot].note_window(self._cwnd[slot])
 
-    def _on_ack(self, slot: int, slow: bool = False) -> None:
+    def _slow_threshold(self, slot: int) -> Optional[float]:
+        """The blocked-read duration that reads as congestion for *slot*.
+
+        An explicit ``ack_timeout`` (including ``0.0``, the legacy pin
+        to window 1) always wins; otherwise the slot's RTT estimator
+        supplies a self-calibrated threshold once primed — and until
+        then nothing is slow, so a connection's cold start can never
+        halve its own window.
+        """
+        if self._ack_timeout is not None:
+            return self._ack_timeout
+        return self._stats[slot].rtt.slow_threshold()
+
+    def _on_ack(self, slot: int, slow: bool = False,
+                rtt_sample: Optional[float] = None) -> None:
         """AIMD update for one acked frame: additive increase per ack,
-        halve when the ack was slower than ``ack_timeout`` (the worker —
-        or the link — is saturated, so stop piling frames onto it)."""
+        halve when the ack was slower than the slow-ack threshold (the
+        worker — or the link — is saturated, so stop piling frames onto
+        it).  *rtt_sample* is the frame's send→ack round trip, fed to
+        the slot's estimator."""
+        stats = self._stats[slot]
+        if rtt_sample is not None:
+            stats.note_ack(rtt_sample, slow)
         with self._lock:
             if slow:
                 self._cwnd[slot] = max(1, self._cwnd[slot] // 2)
             elif self._cwnd[slot] < self._caps[slot]:
                 self._cwnd[slot] += 1
                 self._transport.note_window(self._cwnd[slot])
+            stats.note_window(self._cwnd[slot])
 
     def _replace_peer_many(self, slot: int, indices: List[int]) -> bool:
         """Get a fresh peer for *slot*; retire the slot if impossible.
@@ -804,7 +899,9 @@ class _FramedSession(TransportSession):
         self._transport.count_restart()
         with self._lock:
             self._cwnd[slot] = max(1, self._cwnd[slot] // 2)
-        indices = [index for _, index, _ in in_flight]
+            self._stats[slot].note_window(self._cwnd[slot])
+        indices = [entry[1] for entry in in_flight]
+        self._stats[slot].note_death(len(indices))
         if not self._replace_peer_many(slot, indices):
             return False
         for index in indices:
@@ -821,8 +918,10 @@ class _FramedSession(TransportSession):
         pending.clear()
 
     def _write_entries(self, slot: int, entries, write_frame) -> None:
-        """Send ``(seq, index, task)`` entries, batching where allowed."""
+        """Send ``(seq, index, task, sent_at)`` entries, batching where
+        allowed, and account frames/tasks/bytes to the slot's telemetry."""
         peer = self._peers[slot]
+        stats = self._stats[slot]
         batch = self._max_batch if self._batch_ok[slot] else 1
         for start in range(0, len(entries), batch):
             group = entries[start:start + batch]
@@ -831,17 +930,19 @@ class _FramedSession(TransportSession):
                 # written — which is exactly what windowing amortises.
                 time.sleep(self._frame_latency)
             if len(group) == 1:
-                seq, index, task = group[0]
-                write_frame(peer.writer,
-                            {"kind": "task", "seq": seq, "index": index,
-                             "task": task.to_json()})
+                seq, index, task, _sent_at = group[0]
+                nbytes = write_frame(peer.writer,
+                                     {"kind": "task", "seq": seq,
+                                      "index": index,
+                                      "task": task.to_json()})
             else:
-                write_frame(peer.writer, {
+                nbytes = write_frame(peer.writer, {
                     "kind": "tasks",
                     "items": [{"seq": seq, "index": index,
                                "task": task.to_json()}
-                              for seq, index, task in group],
+                              for seq, index, task, _sent_at in group],
                 })
+            stats.note_send(len(group), nbytes or 0)
 
     def _check_reply(self, frame: Dict, seq: int, index: int) -> None:
         """Validate one reply frame against the head of the window."""
@@ -863,9 +964,13 @@ class _FramedSession(TransportSession):
     def _slot_main(self, slot: int) -> None:
         from repro.experiments.worker import read_frame, write_frame
 
-        # (seq, index, task) in send order; the worker replies in order,
-        # so every reply is matched against the head.
+        # (seq, index, task, sent_at) in send order; the worker replies
+        # in order, so every reply is matched against the head, and
+        # send→ack of the head frame is the slot's RTT sample.
         in_flight: "collections.deque" = collections.deque()
+        # Set when the batch-flush hold expired: the next send pass
+        # flushes the partial batch instead of holding it further.
+        force_flush = False
         # (index, task) pulled from the inbox but not yet written — held
         # back (coalesced) while the peer has plenty of backlog, so tiny
         # tasks ride one batched frame instead of paying per-frame cost
@@ -923,15 +1028,18 @@ class _FramedSession(TransportSession):
                     batch_cap = (self._max_batch if self._batch_ok[slot]
                                  else 1)
                     if pending and (not in_flight
-                                    or len(pending) >= batch_cap):
+                                    or len(pending) >= batch_cap
+                                    or force_flush):
+                        force_flush = False
                         if self._peers[slot] is None and \
                                 not self._replace_peer_many(
                                     slot,
                                     [index for index, _ in pending]):
                             return
+                        sent_at = time.monotonic()
                         entries = []
                         for index, task in pending:
-                            entries.append((next_seq, index, task))
+                            entries.append((next_seq, index, task, sent_at))
                             next_seq += 1
                         pending.clear()
                         # Extend in_flight *before* writing: a write that
@@ -960,12 +1068,26 @@ class _FramedSession(TransportSession):
                     # to the latency x service-rate product with no
                     # tuning.
                     peer = self._peers[slot]
+                    stats = self._stats[slot]
+                    if pending:
+                        # A partial batch is parked behind the in-flight
+                        # frames.  Holding it is only productive while
+                        # acks are arriving to free more window, so wait
+                        # at most one deviation-padded RTT (the
+                        # estimator's flush hold) for a reply to show up
+                        # — then flush the partial batch rather than
+                        # serialising it behind one long task.
+                        if not _reply_within(peer, stats.rtt.flush_hold()):
+                            force_flush = True
+                            continue
                     first = True
                     while in_flight and (first or _reply_ready(peer)):
                         first = False
                         waited = time.monotonic()
                         try:
-                            frame = read_frame(peer.reader)
+                            frame = read_frame(
+                                peer.reader,
+                                on_bytes=stats.note_bytes_received)
                         except (OSError, ValueError):
                             frame = None
                         if frame is None:
@@ -975,12 +1097,14 @@ class _FramedSession(TransportSession):
                                 return
                             in_flight.clear()
                             break
-                        slow = (self._ack_timeout is not None
-                                and time.monotonic() - waited
-                                > self._ack_timeout)
-                        seq, index, _task = in_flight.popleft()
+                        now = time.monotonic()
+                        threshold = self._slow_threshold(slot)
+                        slow = (threshold is not None
+                                and now - waited > threshold)
+                        seq, index, _task, sent_at = in_flight.popleft()
                         self._check_reply(frame, seq, index)
-                        self._on_ack(slot, slow=slow)
+                        self._on_ack(slot, slow=slow,
+                                     rtt_sample=now - sent_at)
                         if frame.get("kind") == "error":
                             self._events.put(("error", index,
                                               _frame_error(frame, index)))
@@ -1056,6 +1180,11 @@ class _SocketSession(_FramedSession):
         # A thread close() cannot interrupt is at worst one dial deep;
         # wait that out (plus slack) instead of joining forever.
         self._shutdown_grace = transport.connect_timeout + 1.0
+
+    def _slot_label(self, slot: int) -> str:
+        # Label by worker address so the per-worker aggregation groups a
+        # host:port*K multi-slot worker's K connections into one row.
+        return format_address(*self._addresses[slot])
 
     def _make_peer(self, slot: int) -> _SocketPeer:
         # Reconnect path only (initial connections are dialled eagerly by

@@ -98,8 +98,15 @@ def _read_exactly(stream: BinaryIO, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
-    """Read one length-prefixed JSON frame; ``None`` on clean/torn EOF."""
+def read_frame(stream: BinaryIO,
+               on_bytes: Optional[Callable[[int], None]] = None,
+               ) -> Optional[Dict[str, Any]]:
+    """Read one length-prefixed JSON frame; ``None`` on clean/torn EOF.
+
+    *on_bytes*, when given, receives the frame's wire size (header +
+    payload) once the frame arrived whole — the transport telemetry's
+    bytes-received accounting, costing nothing when absent.
+    """
     header = _read_exactly(stream, 4)
     if header is None:
         return None
@@ -107,15 +114,22 @@ def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
     payload = _read_exactly(stream, length)
     if payload is None:
         return None
+    if on_bytes is not None:
+        on_bytes(4 + length)
     return json.loads(payload.decode("utf-8"))
 
 
-def write_frame(stream: BinaryIO, record: Dict[str, Any]) -> None:
-    """Write one length-prefixed JSON frame and flush it."""
+def write_frame(stream: BinaryIO, record: Dict[str, Any]) -> int:
+    """Write one length-prefixed JSON frame and flush it.
+
+    Returns the wire size written (header + payload) so senders can
+    account bytes without re-serialising the record.
+    """
     payload = json.dumps(record, sort_keys=True,
                          separators=(",", ":")).encode("utf-8")
     stream.write(struct.pack(">I", len(payload)) + payload)
     stream.flush()
+    return 4 + len(payload)
 
 
 def hello_frame() -> Dict[str, Any]:
@@ -127,6 +141,28 @@ def hello_frame() -> Dict[str, Any]:
     """
     return {"kind": "hello", "schema": CODE_SCHEMA_VERSION,
             "pid": os.getpid(), "features": ["batch", "window"]}
+
+
+#: Environment variable naming a file the worker appends one line to per
+#: task execution attempt (the task's ``run_seed``).  Test-only: the
+#: chaos suite counts lines per run_seed to bound requeue amplification —
+#: a task may be requeued across connection flaps, but every execution
+#: lands exactly one line here regardless of which connection carried it.
+WORKER_EXEC_LOG_ENV = "REPRO_WORKER_EXEC_LOG"
+
+
+def _log_execution(task: SweepTask) -> None:
+    """Append one ``run_seed`` line to the execution log, when armed.
+
+    Open-append-close per line: O_APPEND keeps concurrent writes from
+    slot threads (and multiple worker processes) whole for lines this
+    small.
+    """
+    path = os.environ.get(WORKER_EXEC_LOG_ENV)
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{task.run_seed}\n")
 
 
 class _InjectedConnectionDeath(Exception):
@@ -195,6 +231,7 @@ def serve_stream(reader: BinaryIO, writer: BinaryIO,
             if stats is not None:
                 stats["tasks"] = handled
             maybe_crash(task, scope=fault_scope)
+            _log_execution(task)
             # `seq` is echoed when present so the coordinator can
             # cross-check its in-flight tracking; old coordinators never
             # send it and get the historical reply shape back.

@@ -2,10 +2,168 @@
 
 from __future__ import annotations
 
+import contextlib
+import socket
+import struct
+import threading
+
 import networkx as nx
 import pytest
 
 from repro.graphs import generators
+
+
+class FlapProxy:
+    """Deterministic connection-flapping TCP proxy (the chaos harness).
+
+    Sits between a coordinator and a socket worker: listens on an
+    ephemeral 127.0.0.1 port, dials *upstream* per accepted connection,
+    and forwards whole length-prefixed frames.  The k-th accepted
+    connection is severed abruptly — both directions at once, no FIN
+    handshake niceties — after forwarding ``plan[k]``
+    coordinator→worker task frames; connections beyond the plan (and
+    ``None`` entries) pass through untouched.  Killing on a *frame
+    count* rather than a timer is what makes the chaos deterministic:
+    the same plan severs the same connection at the same protocol point
+    every run, regardless of machine speed.
+
+    Only coordinator→worker frames count toward a budget (the hello and
+    all replies travel the other way), so ``plan[k] = N`` means "this
+    connection dies with its N-th task frame delivered to the worker
+    but its reply undeliverable" — the exact mid-window loss the
+    requeue path must absorb.
+    """
+
+    def __init__(self, upstream, plan=()):
+        self._upstream = upstream
+        self._plan = list(plan)
+        self.connections = 0
+        self.kills = 0
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+        self._socks = []
+        self._threads = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.25)
+        host, port = self._listener.getsockname()[:2]
+        self.address = f"{host}:{port}"
+        accepter = threading.Thread(target=self._accept_loop,
+                                    name="flap-proxy-accept", daemon=True)
+        self._threads.append(accepter)
+        accepter.start()
+
+    def _accept_loop(self):
+        while not self._closing.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                budget = (self._plan[self.connections]
+                          if self.connections < len(self._plan) else None)
+                self.connections += 1
+            try:
+                upstream = socket.create_connection(self._upstream,
+                                                    timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            pumps = [
+                threading.Thread(target=self._pump_frames,
+                                 args=(client, upstream, budget),
+                                 name="flap-proxy-frames", daemon=True),
+                threading.Thread(target=self._pump_bytes,
+                                 args=(upstream, client),
+                                 name="flap-proxy-bytes", daemon=True),
+            ]
+            with self._lock:
+                self._socks += [client, upstream]
+                self._threads += pumps
+            for pump in pumps:
+                pump.start()
+
+    @staticmethod
+    def _sever(*socks):
+        for sock in socks:
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _pump_frames(self, client, upstream, budget):
+        """Coordinator→worker: forward whole frames, kill at the budget."""
+        from repro.experiments.worker import _read_exactly
+
+        reader = client.makefile("rb")
+        forwarded = 0
+        try:
+            while True:
+                header = _read_exactly(reader, 4)
+                if header is None:
+                    return
+                (length,) = struct.unpack(">I", header)
+                payload = _read_exactly(reader, length)
+                if payload is None:
+                    return
+                upstream.sendall(header + payload)
+                forwarded += 1
+                if budget is not None and forwarded >= budget:
+                    with self._lock:
+                        self.kills += 1
+                    return
+        except OSError:
+            pass
+        finally:
+            self._sever(client, upstream)
+
+    def _pump_bytes(self, upstream, client):
+        """Worker→coordinator: raw byte pump (replies keep frame shape)."""
+        try:
+            while True:
+                chunk = upstream.recv(65536)
+                if not chunk:
+                    return
+                client.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            self._sever(client, upstream)
+
+    def close(self):
+        self._closing.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        with self._lock:
+            socks = list(self._socks)
+            threads = list(self._threads)
+        self._sever(*socks)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def flap_proxy():
+    """Factory building :class:`FlapProxy` instances, closed on teardown.
+
+    ``proxy = flap_proxy("127.0.0.1:PORT", plan=[2, 3])`` severs the
+    first accepted connection after 2 task frames and the second after
+    3; point the coordinator at ``proxy.address`` instead of the worker.
+    """
+    proxies = []
+
+    def factory(upstream_address, plan=()):
+        host, _, port = upstream_address.rpartition(":")
+        proxy = FlapProxy((host, int(port)), plan=plan)
+        proxies.append(proxy)
+        return proxy
+
+    yield factory
+    for proxy in proxies:
+        proxy.close()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,158 @@
+"""Unit tests for the CI benchmark-regression gate.
+
+``benchmarks/compare_bench.py`` is what turns ``BENCH_pr.json`` vs the
+committed ``BENCH_seed.json`` into a pass/fail CI signal, so its
+arithmetic and exit codes are pinned here — including the acceptance
+demonstration that a synthetic >30% throughput regression fails the
+gate, and that the ``--warn-only`` label escape hatch downgrades the
+same regression to exit 0.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
+           / "benchmarks" / "compare_bench.py")
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+SEED = {
+    "parallel_sweep": {
+        "serial_tasks_per_second": 100.0,
+        "parallel_tasks_per_second": 200.0,
+        "speedup": 2.0,
+        "tasks": 8,
+    }
+}
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_dicts_and_lists(self, compare_bench):
+        flat = dict(compare_bench.numeric_leaves(
+            {"a": {"b": 1, "c": [2.5, {"d": 3}]}, "skip": "text",
+             "flag": True}))
+        assert flat == {"a.b": 1.0, "a.c[0]": 2.5, "a.c[1].d": 3.0}
+
+    def test_booleans_are_not_numbers(self, compare_bench):
+        assert dict(compare_bench.numeric_leaves({"ok": True})) == {}
+
+
+class TestCompare:
+    def test_improvements_and_small_dips_pass(self, compare_bench):
+        seed = {"x.tasks_per_second": 100.0}
+        result = compare_bench.compare({"x.tasks_per_second": 75.0}, seed)
+        assert result["regressions"] == []  # -25% is inside the 30% band
+        result = compare_bench.compare({"x.tasks_per_second": 400.0}, seed)
+        assert result["regressions"] == []
+
+    def test_regression_past_threshold_is_flagged(self, compare_bench):
+        result = compare_bench.compare({"x.tasks_per_second": 60.0},
+                                       {"x.tasks_per_second": 100.0})
+        assert [row[0] for row in result["regressions"]] == \
+            ["x.tasks_per_second"]
+
+    def test_only_tasks_per_second_keys_are_gated(self, compare_bench):
+        """A collapsed speedup or wall-clock blowup alone never gates —
+        only throughput keys do."""
+        result = compare_bench.compare(
+            {"speedup": 0.1, "serial_seconds": 99.0},
+            {"speedup": 4.0, "serial_seconds": 0.1})
+        assert result["regressions"] == []
+
+    def test_subsecond_measurements_are_noisy_not_gated(self,
+                                                        compare_bench):
+        """A 3× swing on a 100ms smoke measurement is runner jitter:
+        when both sides' sibling duration is under the floor the key is
+        marked noisy and never enforced."""
+        seed = {"m.x_tasks_per_second": 100.0, "m.x_seconds": 0.08}
+        pr = {"m.x_tasks_per_second": 30.0, "m.x_seconds": 0.26}
+        result = compare_bench.compare(pr, seed)
+        assert result["regressions"] == []
+        states = {path: state for path, *_, state in result["rows"]}
+        assert states["m.x_tasks_per_second"] == "noisy"
+
+    def test_collapse_inflates_duration_and_still_fails(self,
+                                                        compare_bench):
+        """The regression the gate exists for: a collapsed pipeline
+        pushes the PR-side duration past the floor, so the same noisy
+        smoke key becomes enforced — sub-second baselines cannot hide a
+        real 10× slowdown."""
+        seed = {"m.x_tasks_per_second": 100.0, "m.x_seconds": 0.08}
+        pr = {"m.x_tasks_per_second": 10.0, "m.x_seconds": 0.8}
+        result = compare_bench.compare(pr, seed)
+        assert [row[0] for row in result["regressions"]] == \
+            ["m.x_tasks_per_second"]
+
+    def test_unshared_keys_reported_but_not_gated(self, compare_bench):
+        result = compare_bench.compare(
+            {"new.tasks_per_second": 1.0},
+            {"old.tasks_per_second": 500.0})
+        assert result["regressions"] == []
+        assert result["only_pr"] == ["new.tasks_per_second"]
+        assert result["only_seed"] == ["old.tasks_per_second"]
+
+
+class TestMainExitCodes:
+    def test_clean_run_exits_zero(self, compare_bench, tmp_path, capsys):
+        pr = _write(tmp_path, "pr.json", SEED)
+        seed = _write(tmp_path, "seed.json", SEED)
+        assert compare_bench.main([pr, seed]) == 0
+        assert "benchmark gate: OK" in capsys.readouterr().out
+
+    def test_synthetic_regression_fails_the_gate(self, compare_bench,
+                                                 tmp_path, capsys):
+        """The acceptance demonstration: >30% tasks/sec regression →
+        exit 1 with the offending key named."""
+        regressed = json.loads(json.dumps(SEED))
+        regressed["parallel_sweep"]["parallel_tasks_per_second"] = 120.0
+        pr = _write(tmp_path, "pr.json", regressed)
+        seed = _write(tmp_path, "seed.json", SEED)
+        assert compare_bench.main([pr, seed]) == 1
+        captured = capsys.readouterr()
+        assert "parallel_tasks_per_second" in captured.err
+        assert "-40.0%" in captured.err
+
+    def test_warn_only_downgrades_to_exit_zero(self, compare_bench,
+                                               tmp_path, capsys):
+        regressed = json.loads(json.dumps(SEED))
+        regressed["parallel_sweep"]["parallel_tasks_per_second"] = 10.0
+        pr = _write(tmp_path, "pr.json", regressed)
+        seed = _write(tmp_path, "seed.json", SEED)
+        assert compare_bench.main([pr, seed, "--warn-only"]) == 0
+        assert "warn-only" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, compare_bench, tmp_path):
+        seed = _write(tmp_path, "seed.json", SEED)
+        assert compare_bench.main([str(tmp_path / "absent.json"),
+                                   seed]) == 2
+
+    def test_invalid_json_exits_two(self, compare_bench, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        seed = _write(tmp_path, "seed.json", SEED)
+        assert compare_bench.main([str(bad), seed]) == 2
+
+    def test_gate_against_committed_seed_baseline(self, compare_bench,
+                                                  tmp_path):
+        """The committed BENCH_seed.json must gate against itself — the
+        shape CI actually exercises."""
+        seed_path = _SCRIPT.parent.parent / "BENCH_seed.json"
+        assert compare_bench.main([str(seed_path), str(seed_path)]) == 0

@@ -1,0 +1,242 @@
+"""Unit tests for the RTT estimator and the telemetry counters.
+
+The estimator's numbers *retune timing only* (slow-ack threshold, batch
+flush hold) — the equivalence matrix in ``tests/test_executor.py`` pins
+that they never touch a result byte.  Here we pin the numbers
+themselves: Jacobson/Karels update rules, priming, the threshold floors,
+and the counter/aggregation arithmetic every telemetry surface rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.telemetry import (
+    FLUSH_HOLD_DEFAULT,
+    FLUSH_HOLD_MAX,
+    FLUSH_HOLD_MIN,
+    RTT_ALPHA,
+    RTT_BETA,
+    RTT_MIN_THRESHOLD,
+    RTT_PRIME_SAMPLES,
+    ConnectionStats,
+    RttEstimator,
+    aggregate_by_worker,
+)
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises_srtt_and_half_variance(self):
+        est = RttEstimator()
+        est.observe(0.080)
+        assert est.srtt == pytest.approx(0.080)
+        assert est.rttvar == pytest.approx(0.040)
+        assert est.samples == 1
+        assert est.rto == pytest.approx(0.080 + 4 * 0.040)
+
+    def test_update_rule_matches_jacobson_karels(self):
+        """Second sample must follow the textbook EWMA pair, with rttvar
+        updated against the *old* srtt."""
+        est = RttEstimator()
+        est.observe(0.100)
+        est.observe(0.060)
+        expected_rttvar = (1 - RTT_BETA) * 0.050 + RTT_BETA * abs(0.100 - 0.060)
+        expected_srtt = (1 - RTT_ALPHA) * 0.100 + RTT_ALPHA * 0.060
+        assert est.rttvar == pytest.approx(expected_rttvar)
+        assert est.srtt == pytest.approx(expected_srtt)
+
+    def test_converges_on_a_steady_link(self):
+        """Constant 100ms samples: srtt locks to 100ms and the deviation
+        decays towards zero (so rto tightens towards srtt)."""
+        est = RttEstimator()
+        for _ in range(50):
+            est.observe(0.100)
+        assert est.srtt == pytest.approx(0.100, rel=1e-6)
+        assert est.rttvar < 0.0005
+        assert est.rto == pytest.approx(0.100, rel=0.02)
+        assert est.min_rtt == pytest.approx(0.100)
+        assert est.max_rtt == pytest.approx(0.100)
+
+    def test_latency_step_inflates_variance_then_decays(self):
+        """A 10ms→100ms latency step: the deviation EWMA spikes (rto must
+        exceed the new latency within a few samples, so in-flight acks at
+        the new speed are not misread as congestion), then decays again
+        once the link is steady at 100ms."""
+        est = RttEstimator()
+        for _ in range(20):
+            est.observe(0.010)
+        settled_var = est.rttvar
+        for _ in range(5):
+            est.observe(0.100)
+        assert est.rttvar > settled_var * 5
+        assert est.rto > 0.100
+        for _ in range(200):
+            est.observe(0.100)
+        assert est.srtt == pytest.approx(0.100, rel=0.01)
+        assert est.rttvar < 0.005
+        assert est.min_rtt == pytest.approx(0.010)
+        assert est.max_rtt == pytest.approx(0.100)
+
+    def test_negative_samples_clamp_to_zero(self):
+        """Clock oddities (monotonic is safe, but belt and braces) must
+        not poison the EWMA with negative round trips."""
+        est = RttEstimator()
+        est.observe(-0.5)
+        assert est.srtt == 0.0
+        assert est.rttvar == 0.0
+        assert est.min_rtt == 0.0
+
+    def test_unprimed_estimator_derives_no_threshold(self):
+        """Fewer than RTT_PRIME_SAMPLES acks → no slow-ack threshold (the
+        transport falls back to 'nothing is slow') and the fixed default
+        flush hold."""
+        est = RttEstimator()
+        for _ in range(RTT_PRIME_SAMPLES - 1):
+            est.observe(0.020)
+            assert est.slow_threshold() is None
+            assert est.flush_hold() == FLUSH_HOLD_DEFAULT
+        est.observe(0.020)
+        assert est.primed
+        assert est.slow_threshold() is not None
+
+    def test_slow_threshold_floors(self):
+        """Loopback-tight estimates floor at RTT_MIN_THRESHOLD; slower
+        links floor at twice the smoothed RTT."""
+        tight = RttEstimator()
+        for _ in range(10):
+            tight.observe(0.0001)
+        assert tight.slow_threshold() == RTT_MIN_THRESHOLD
+
+        slow = RttEstimator()
+        for _ in range(50):
+            slow.observe(0.200)
+        # rto ≈ srtt once variance decays, so the 2*srtt floor rules.
+        assert slow.slow_threshold() == pytest.approx(0.400, rel=0.02)
+
+    def test_flush_hold_is_clamped(self):
+        fast = RttEstimator()
+        for _ in range(10):
+            fast.observe(0.0)
+        assert fast.flush_hold() == FLUSH_HOLD_MIN
+
+        glacial = RttEstimator()
+        for _ in range(10):
+            glacial.observe(5.0)
+        assert glacial.flush_hold() == FLUSH_HOLD_MAX
+
+    def test_snapshot_shape(self):
+        est = RttEstimator()
+        snap = est.snapshot()
+        assert snap["samples"] == 0
+        assert snap["min_rtt_ms"] is None and snap["max_rtt_ms"] is None
+        est.observe(0.0125)
+        snap = est.snapshot()
+        assert snap == {"samples": 1, "srtt_ms": 12.5, "rttvar_ms": 6.25,
+                        "rto_ms": 37.5, "min_rtt_ms": 12.5,
+                        "max_rtt_ms": 12.5}
+
+
+class TestConnectionStats:
+    def test_counters_accumulate(self):
+        stats = ConnectionStats("w:1", 0)
+        stats.note_send(1, 100)
+        stats.note_send(3, 300)
+        stats.note_ack(0.010, slow=False)
+        stats.note_ack(0.050, slow=True)
+        stats.note_bytes_received(64)
+        stats.note_window(4)
+        stats.note_window(2)
+        stats.note_death(3)
+        snap = stats.snapshot()
+        assert snap["connection"] == "w:1" and snap["slot"] == 0
+        assert snap["frames_sent"] == 2
+        assert snap["tasks_sent"] == 4
+        assert snap["batches_sent"] == 1  # only the 3-task frame batched
+        assert snap["acks"] == 2 and snap["slow_acks"] == 1
+        assert snap["bytes_sent"] == 400 and snap["bytes_received"] == 64
+        assert snap["window"] == 2 and snap["peak_window"] == 4
+        assert snap["reconnects"] == 1 and snap["requeues"] == 3
+        assert snap["samples"] == 2
+
+    def test_aggregate_by_worker_sums_and_weights(self):
+        a0 = ConnectionStats("worker-a", 0)
+        a1 = ConnectionStats("worker-a", 1)
+        b0 = ConnectionStats("worker-b", 0)
+        for _ in range(3):
+            a0.note_ack(0.010, slow=False)
+        a1.note_ack(0.100, slow=False)
+        a0.note_send(2, 200)
+        a1.note_send(1, 50)
+        a0.note_window(8)
+        b0.note_send(1, 10)
+        rows = aggregate_by_worker([a0.snapshot(), a1.snapshot(),
+                                    b0.snapshot()])
+        assert [row["worker"] for row in rows] == ["worker-a", "worker-b"]
+        worker_a, worker_b = rows
+        assert worker_a["connections"] == 2
+        assert worker_a["frames_sent"] == 2
+        assert worker_a["tasks_sent"] == 3
+        assert worker_a["bytes_sent"] == 250
+        assert worker_a["acks"] == 4
+        assert worker_a["peak_window"] == 8
+        assert worker_a["rtt_samples"] == 4
+        # Sample-weighted mean: 3 samples at srtt 10ms, 1 at 100ms.
+        assert worker_a["srtt_ms"] == pytest.approx((3 * 10 + 1 * 100) / 4,
+                                                    abs=0.01)
+        # An ack-less worker reports no RTT rather than a fake zero.
+        assert worker_b["rtt_samples"] == 0
+        assert worker_b["srtt_ms"] is None and worker_b["rttvar_ms"] is None
+
+
+class TestEndToEndTelemetry:
+    @pytest.mark.slow
+    def test_subprocess_sweep_reports_real_counters(self):
+        """A real windowed subprocess sweep must account for every task:
+        acks == tasks sent == tasks planned, bytes flow both ways, and
+        the estimator collects one sample per acked task."""
+        from repro.experiments.backends import ComposedBackend
+        from repro.experiments.executor import plan_sweep_tasks
+        from repro.experiments.sweeps import run_sweep
+        from repro.experiments.transports import SubprocessTransport
+
+        grid = dict(algorithms=["luby"], sizes=[16], repetitions=6, seed=3)
+        backend = ComposedBackend(
+            transport=SubprocessTransport(window=4, max_batch=2), jobs=2)
+        sweep = run_sweep(**grid, jobs=2, backend=backend)
+        planned = len(plan_sweep_tasks(**grid))
+
+        telemetry = sweep.telemetry
+        assert telemetry is not None
+        assert telemetry["transport"] == "subprocess"
+        assert telemetry["scheduler"] == {"name": "fifo", "requeues": 0}
+        rows = telemetry["workers"]
+        assert rows, "windowed subprocess sweeps must report telemetry"
+        total = {key: sum(row[key] for row in rows)
+                 for key in ("tasks_sent", "acks", "frames_sent",
+                             "bytes_sent", "bytes_received", "rtt_samples")}
+        assert total["tasks_sent"] == planned
+        # One reply (and one RTT sample) per task, even when several
+        # tasks rode one batched frame.
+        assert total["acks"] == planned
+        assert total["rtt_samples"] == planned
+        assert total["frames_sent"] <= planned
+        assert total["bytes_sent"] > 0 and total["bytes_received"] > 0
+        connections = telemetry["connections"]
+        assert all(snap["samples"] == snap["acks"] for snap in connections)
+
+    def test_serial_sweep_reports_no_worker_rows(self):
+        """The inline transport has no framed connections: telemetry is
+        present but its worker table is empty (and format_telemetry says
+        so instead of printing a header-only table)."""
+        from repro.experiments.backends import SerialBackend
+        from repro.experiments.sweeps import run_sweep
+        from repro.experiments.tables import format_telemetry
+
+        backend = SerialBackend()
+        sweep = run_sweep(algorithms=["luby"], sizes=[16], repetitions=2,
+                          seed=3, backend=backend)
+        telemetry = sweep.telemetry
+        assert telemetry is not None
+        assert telemetry["workers"] == []
+        text = format_telemetry(telemetry)
+        assert "no framed connections" in text
