@@ -3,11 +3,17 @@
 The sweep executor's cluster path is the framed worker protocol served
 over TCP.  One worker *process* can serve many execution slots
 (``--slots N``): each slot is one coordinator connection handled by its
-own thread, and all slots share the process's read-only graph cache, so
-each ``(family, n, graph_seed)`` graph is built once per host rather
-than once per slot.  Because every task seed is derived up front, the
-resulting tables are byte-identical to a serial run, whatever the
-workers' timing.
+own **subprocess**, so an N-slot worker donates N cores instead of
+sharing one GIL (``--slot-mode thread`` restores the historical
+in-process slots).  Slots do not rebuild graphs: the serving process
+builds each ``(family, n, graph_seed)`` graph once, publishes its flat
+CSR arrays in a ``multiprocessing.shared_memory`` segment, and every
+slot maps the segment read-only — zero copies, one build per host.
+Segments are owned by the serving process and unlinked exactly once (on
+LRU eviction or shutdown), so a terminated worker leaves /dev/shm
+clean.  Because every task seed is derived up front, the resulting
+tables are byte-identical to a serial run, whatever the workers' timing
+or slot mode.
 
 On real hardware you would run, on each worker host (one process per
 host, as many slots as you want to donate)::
@@ -45,9 +51,10 @@ driven at window 1 — so none of this can change a result byte, only
 wall-clock time.
 
 This example demonstrates the identical flow on one machine: it spawns
-ONE local worker process serving two slots, runs the same sweep once
-serially and once through both slots (windowed + batched), and verifies
-the tables match.
+ONE local worker process serving two process-backed slots, runs the
+same sweep once serially and once through both slots (windowed +
+batched), verifies the tables match, and checks that terminating the
+worker left no shared-memory segment behind.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ from __future__ import annotations
 import sys
 
 from repro.experiments.backends import ComposedBackend, SocketTransport
+from repro.experiments.shm_cache import active_segments
 from repro.experiments.sweeps import run_sweep
 from repro.experiments.tables import render_sweep
 from repro.experiments.worker import spawn_local_worker
@@ -75,15 +83,18 @@ def main() -> int:
                                       max_batch=8))
         clustered = run_sweep(**SWEEP, keep_runs=False, backend=backend)
     finally:
-        process.kill()
+        process.terminate()
         process.wait()
     print(render_sweep(clustered,
                        title="sweep over one 2-slot worker (cost-model)"))
     print(f"peak per-connection window: {backend.transport.peak_window} "
           f"(grown from 1, one step per acked result)")
+    leaked = [name for name in active_segments()
+              if name.startswith(f"repro-csr-{process.pid}-")]
+    print(f"shared-memory segments leaked by the worker: {leaked or 'none'}")
     identical = repr(clustered.rows()) == repr(serial.rows())
     print(f"byte-identical to the serial run: {identical}")
-    return 0 if identical else 1
+    return 0 if identical and not leaked else 1
 
 
 if __name__ == "__main__":

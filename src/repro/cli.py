@@ -85,9 +85,10 @@ _STORE_EPILOG = (
     "or fail over dead workers and requeue their tasks.  "
     "Running a multi-host sweep: on each worker host run "
     "'repro-mis worker serve --listen 0.0.0.0:8750 --slots N' (one "
-    "process per host, N slots for N donated cores' worth of "
-    "connections; the slots share one read-only graph cache, so each "
-    "graph is built once per host instead of once per slot), then on "
+    "serving process per host; with N > 1 each slot runs in its own "
+    "subprocess, so N slots donate N cores, and the slots map one "
+    "shared-memory CSR graph cache read-only — each graph is built "
+    "once per host instead of once per slot), then on "
     "the coordinator run 'repro-mis sweep ... --backend socket "
     "--workers hostA:8750*4,hostB:8750*2'.  A 'host:port*K' entry "
     "dials K connections to that worker — one execution slot each; "
@@ -268,14 +269,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve sweep tasks over TCP for --backend socket",
         epilog="--slots N serves up to N coordinator connections "
-               "concurrently from one worker process (dial them all "
-               "with --workers host:port*N on the coordinator).  The "
-               "slot threads share one graph cache: graphs are "
-               "read-only after construction, so each (family, n, seed) "
-               "graph is built once per worker process instead of once "
-               "per slot.  After a sweep finishes each slot loops back "
-               "to accepting, so long-lived workers serve any number of "
-               "sweeps.  The coordinator's handshake refuses a worker "
+               "concurrently from one serving process (dial them all "
+               "with --workers host:port*N on the coordinator).  With "
+               "N > 1 each connection is handed to its own slot "
+               "subprocess, so N slots donate N cores instead of "
+               "time-slicing one GIL; --slot-mode thread restores the "
+               "historical in-process threads, and --slots 1 stays "
+               "in-process unless --slot-mode process is explicit.  "
+               "Process slots never rebuild graphs the server already "
+               "has: the serving process builds each (family, n, seed) "
+               "graph once as flat CSR arrays in a shared-memory "
+               "segment (named repro-csr-<pid>-<k>), and every slot "
+               "maps it read-only, zero-copy.  Segments are owned by "
+               "the serving process and unlinked exactly once — at LRU "
+               "eviction (REPRO_GRAPH_CACHE entries, default 32) or at "
+               "shutdown; a server start also reaps segments orphaned "
+               "by a SIGKILL'd predecessor.  After a sweep finishes "
+               "each slot loops back to accepting, so long-lived "
+               "workers serve any number of sweeps.  The coordinator's "
+               "handshake refuses a worker "
                "whose CODE_SCHEMA_VERSION differs from its own, and "
                "--max-connections only counts connections that actually "
                "served a task — a garbage peer cannot burn a bounded "
@@ -294,8 +306,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "stderr; [IPV6]:PORT accepted)")
     serve_parser.add_argument("--slots", type=int, default=1, metavar="N",
                               help="serve up to N coordinator connections "
-                                   "concurrently, sharing one graph cache "
-                                   "(default: 1)")
+                                   "concurrently; N > 1 runs each slot in "
+                                   "its own subprocess mapping a shared "
+                                   "read-only CSR graph cache (default: 1)")
+    serve_parser.add_argument("--slot-mode", choices=("thread", "process"),
+                              default=None,
+                              help="force slot execution mode (default: "
+                                   "process when --slots > 1, else thread)")
+    serve_parser.add_argument("--start-method",
+                              choices=("fork", "spawn", "forkserver"),
+                              default=None,
+                              help="multiprocessing start method for "
+                                   "process slots (default: the "
+                                   "platform default)")
     serve_parser.add_argument("--max-connections", type=int, default=None,
                               metavar="N",
                               help="exit after N connections that served "
@@ -496,7 +519,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             return serve(args.listen, max_connections=args.max_connections,
-                         slots=args.slots)
+                         slots=args.slots, slot_mode=args.slot_mode,
+                         start_method=args.start_method)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -42,7 +42,7 @@ from typing import (Dict, Iterator, List, Optional, Protocol, Sequence,
 
 from repro.errors import ConfigurationError
 from repro.experiments.executor import (BackendLike, SweepTask,
-                                        resolve_jobs)
+                                        graph_cache_stats, resolve_jobs)
 from repro.experiments.harness import MISRunResult
 from repro.experiments.schedulers import (SCHEDULERS, CostModelScheduler,
                                           FifoScheduler,
@@ -87,6 +87,7 @@ class ComposedBackend:
         self.scheduler = resolve_scheduler(scheduler,
                                            max_attempts=max_attempts)
         self.transport = resolve_transport(transport, jobs=self.jobs)
+        self._graph_cache: Optional[Dict] = None
 
     @property
     def name(self) -> str:
@@ -103,12 +104,16 @@ class ComposedBackend:
         The transport's per-connection/per-worker counter snapshot (RTT
         estimates, frames, acks, batches, reconnects, bytes, windows —
         see :mod:`repro.experiments.telemetry`) plus the scheduler's
-        retry accounting.  Purely observational: reading it never
-        touches a result byte.
+        retry accounting and — once a sweep has run — the coordinator's
+        graph-cache counters (hits/misses/evictions, captured just
+        before session teardown clears the cache).  Purely
+        observational: reading it never touches a result byte.
         """
         data = self.transport.telemetry()
         data["scheduler"] = {"name": self.scheduler.name,
                              "requeues": self.scheduler.requeues}
+        if self._graph_cache is not None:
+            data["graph_cache"] = dict(self._graph_cache)
         return data
 
     def submit_tasks(
@@ -122,6 +127,10 @@ class ComposedBackend:
         try:
             yield from self.scheduler.run(task_list, session)
         finally:
+            # Capture the coordinator-side graph-cache counters before the
+            # session teardown clears them (close() calls cache_clear so
+            # sweeps never pin graphs beyond their lifetime).
+            self._graph_cache = graph_cache_stats()
             # Deterministic teardown on completion, error and abandonment
             # alike: cancel queued work, shut every slot down.
             session.close()

@@ -49,8 +49,10 @@ and persist incrementally (see :mod:`repro.experiments.sweeps` and
 from __future__ import annotations
 
 import os
+import sys
+import threading
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
@@ -170,9 +172,35 @@ def plan_sweep_tasks(
     return tasks
 
 
-@lru_cache(maxsize=32)
-def _build_graph(family: str, n: int, graph_seed: int):
-    """Worker-local graph cache.
+#: Environment knob for the worker-local graph cache size.  A grid with
+#: more than this many distinct ``(family, n, graph_seed)`` combos thrashes
+#: (every graph rebuilt once per algorithm) — raise it for wide grids, or
+#: set ``0`` to disable caching entirely.  Invalid values fall back to the
+#: default with a warning on stderr.
+GRAPH_CACHE_ENV = "REPRO_GRAPH_CACHE"
+_GRAPH_CACHE_DEFAULT = 32
+
+_CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+def _resolve_graph_cache_size() -> int:
+    raw = os.environ.get(GRAPH_CACHE_ENV)
+    if raw is None or not raw.strip():
+        return _GRAPH_CACHE_DEFAULT
+    try:
+        size = int(raw)
+    except ValueError:
+        size = -1
+    if size < 0:
+        print(f"warning: ignoring invalid {GRAPH_CACHE_ENV}={raw!r} "
+              f"(want a non-negative integer); using "
+              f"{_GRAPH_CACHE_DEFAULT}", file=sys.stderr)
+        return _GRAPH_CACHE_DEFAULT
+    return size
+
+
+class _GraphCache:
+    """Worker-local graph cache (an ``lru_cache`` with observable knobs).
 
     A sweep runs every algorithm on the same repetition graphs, so
     consecutive tasks in a worker's chunk usually share ``(family, n,
@@ -183,22 +211,116 @@ def _build_graph(family: str, n: int, graph_seed: int):
     Cache contract — **cached graphs are read-only**.  Every consumer of
     :func:`run_task` may receive the same graph object as every other
     consumer in the process, concurrently: a multi-slot socket worker
-    (``repro-mis worker serve --slots N``) runs N slot threads against
-    this one LRU precisely so each ``(family, n, graph_seed)`` graph is
-    built once per host instead of once per slot.  Algorithm adapters
-    must therefore never mutate the graph they are handed (pinned by
+    (``repro-mis worker serve --slots N``) shares each ``(family, n,
+    graph_seed)`` graph across its slots — thread slots through this one
+    LRU, process slots through the serving process's shared-memory CSR
+    segments (see :mod:`repro.experiments.shm_cache`), which land here
+    via :func:`set_shared_graph_source`.  Algorithm adapters must
+    therefore never mutate the graph they are handed (pinned by
     ``tests/test_executor.py::TestGraphCacheLifecycle``); anything
-    needing scratch state copies it out first.  ``lru_cache`` itself is
-    thread-safe — concurrent misses may build the same graph twice, but
+    needing scratch state copies it out first.  Lookups are
+    lock-protected; concurrent misses may build the same graph twice, but
     both builds are identical and one simply wins the cache slot.
+
+    Differences from the old hard-coded ``lru_cache(maxsize=32)``:
+
+    - the capacity reads ``REPRO_GRAPH_CACHE`` (default 32, re-read on
+      every :meth:`cache_clear`), so wide grids no longer thrash silently;
+    - eviction count is tracked and surfaced through backend telemetry
+      (``SweepResult.telemetry["graph_cache"]``) alongside hits/misses;
+    - a *shared source* hook lets worker slot processes fetch CSR arrays
+      from the serving process's shared-memory cache instead of
+      regenerating (counted under ``shared_hits``; still a local "miss").
+
+    The ``cache_info()`` / ``cache_clear()`` surface matches
+    ``functools.lru_cache`` (pinned by ``TestGraphCacheLifecycle``), and
+    like functools, ``cache_clear`` resets the counters.
 
     Lifecycle: the coordinator clears its copy after every sweep, and each
     pool worker starts from an empty cache (``initializer=
     _reset_worker_graph_cache``).  Without the initializer, fork-started
     workers inherit whatever graphs a previous in-process sweep left pinned
-    in the coordinator, keeping up to 32 stale graphs alive per worker.
+    in the coordinator, keeping stale graphs alive per worker.
     """
-    return by_name(family, n, seed=graph_seed)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, int, int], Any]" = OrderedDict()
+        self._maxsize = _resolve_graph_cache_size()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._shared_hits = 0
+
+    def __call__(self, family: str, n: int, graph_seed: int):
+        key = (family, n, graph_seed)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        source = _shared_graph_source
+        graph = source(family, n, graph_seed) if source is not None else None
+        shared = graph is not None
+        if graph is None:
+            graph = by_name(family, n, seed=graph_seed)
+        with self._lock:
+            self._misses += 1
+            if shared:
+                self._shared_hits += 1
+            if self._maxsize > 0:
+                self._entries[key] = graph
+                self._entries.move_to_end(key)
+                while len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return graph
+
+    def cache_info(self) -> _CacheInfo:
+        with self._lock:
+            return _CacheInfo(self._hits, self._misses, self._maxsize,
+                              len(self._entries))
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = 0
+            self._evictions = self._shared_hits = 0
+            self._maxsize = _resolve_graph_cache_size()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the telemetry path (superset of ``cache_info``)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "shared_hits": self._shared_hits,
+                "maxsize": self._maxsize,
+                "currsize": len(self._entries),
+            }
+
+
+#: Optional hook consulted on every local cache miss before regenerating:
+#: ``source(family, n, graph_seed)`` returns a graph-like object or ``None``.
+#: Worker slot processes install a fetcher that attaches the serving
+#: process's shared-memory CSR segment for the key.
+_shared_graph_source: Optional[Callable[[str, int, int], Any]] = None
+
+
+def set_shared_graph_source(
+        source: Optional[Callable[[str, int, int], Any]]) -> None:
+    """Install (or clear, with ``None``) the shared graph source hook."""
+    global _shared_graph_source
+    _shared_graph_source = source
+
+
+_build_graph = _GraphCache()
+
+
+def graph_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters of this process's graph cache."""
+    return _build_graph.stats()
 
 
 def _reset_worker_graph_cache() -> None:

@@ -62,7 +62,8 @@ from __future__ import annotations
 
 import collections
 import math
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Sequence, Tuple, Type)
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.experiments.harness import MISRunResult
@@ -199,18 +200,40 @@ def _log_n(n: int) -> float:
 #: into :data:`repro.graphs.generators.FAMILIES`; precision is not the
 #: point — only the *ranking* of estimated costs affects anything, and
 #: no ranking can affect a result byte.
-FAMILY_DEGREE_MODELS: Dict[str, Callable[[int], float]] = {
-    "gnp": lambda n: 8.0,
-    "gnp_dense": lambda n: 32.0,
-    "rgg": lambda n: 8.0,
-    "regular": lambda n: 6.0,
-    "powerlaw": lambda n: 6.0,       # BA attachments=3 -> avg degree ~6
-    "caveman": lambda n: 7.0,        # 8-cliques -> in-clique degree 7
-    "clique": lambda n: float(max(1, n - 1)),
-    "tree": lambda n: 2.0,
-    "path": lambda n: 2.0,
-    "cycle": lambda n: 2.0,
-    "star": lambda n: 2.0,
+#:
+#: Each model takes ``(n, params)``, where *params* is the task's
+#: parameter mapping: a task that overrides the generator's density
+#: (``p``/``expected_degree``/``degree``/``attachments``/``clique_size``)
+#: must be ranked at the density it will actually run at, not at the
+#: family default — ignoring params misorders exactly the dense grids
+#: the cost model exists for.
+
+
+def _param_degree(params: Dict[str, Any], n: int, default: float) -> float:
+    """Expected degree honouring a task's density overrides, if any."""
+    p = params.get("p")
+    if p is not None:
+        return max(1.0, float(p) * max(1, n - 1))
+    expected = params.get("expected_degree")
+    if expected is not None:
+        return max(1.0, float(expected))
+    return default
+
+
+FAMILY_DEGREE_MODELS: Dict[str, Callable[[int, Dict[str, Any]], float]] = {
+    "gnp": lambda n, params: _param_degree(params, n, 8.0),
+    "gnp_dense": lambda n, params: _param_degree(params, n, 32.0),
+    "rgg": lambda n, params: _param_degree(params, n, 8.0),
+    "regular": lambda n, params: float(params.get("degree", 6.0)),
+    # BA attachments=k -> average degree ~2k
+    "powerlaw": lambda n, params: 2.0 * float(params.get("attachments", 3)),
+    # k-cliques -> in-clique degree k - 1
+    "caveman": lambda n, params: float(params.get("clique_size", 8)) - 1.0,
+    "clique": lambda n, params: float(max(1, n - 1)),
+    "tree": lambda n, params: 2.0,
+    "path": lambda n, params: 2.0,
+    "cycle": lambda n, params: 2.0,
+    "star": lambda n, params: 2.0,
 }
 
 #: Round-count factor per algorithm: how many simulated rounds a run
@@ -232,18 +255,25 @@ ALGORITHM_ROUND_MODELS: Dict[str, Callable[[int], float]] = {
 def estimate_task_cost(task) -> Optional[float]:
     """Estimated execution cost of one task, or ``None`` if unknown.
 
-    ``cost = n x expected_degree(family, n) x rounds(algorithm, n)`` —
-    i.e. edges processed per round times rounds.  An unknown *family*
-    returns ``None`` (the scheduler then falls back to ``large-first``
-    for the whole grid); an unknown *algorithm* just uses the log-n
-    round default, because the family/degree term dominates the skew the
-    model exists to capture.
+    ``cost = n x expected_degree(family, n, params) x rounds(algorithm,
+    n)`` — i.e. edges processed per round times rounds.  The task's
+    ``params`` are threaded into the degree model so density overrides
+    (``p=0.5`` on a ``gnp`` grid, say) rank at their real cost instead
+    of the family default.  An unknown *family* returns ``None`` (the
+    scheduler then falls back to ``large-first`` for the whole grid); an
+    unknown *algorithm* just uses the log-n round default, because the
+    family/degree term dominates the skew the model exists to capture.
     """
     degree_model = FAMILY_DEGREE_MODELS.get(task.family)
     if degree_model is None:
         return None
+    params = dict(getattr(task, "params", ()) or ())
     rounds_model = ALGORITHM_ROUND_MODELS.get(task.algorithm, _log_n)
-    return task.n * degree_model(task.n) * rounds_model(task.n)
+    try:
+        degree = degree_model(task.n, params)
+    except (TypeError, ValueError):
+        return None
+    return task.n * degree * rounds_model(task.n)
 
 
 class CostModelScheduler(Scheduler):

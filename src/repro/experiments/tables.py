@@ -94,20 +94,38 @@ def format_telemetry(telemetry: Dict[str, Any],
     header = (f"{title} ({telemetry.get('transport', '?')} transport"
               + (f", {scheduler.get('name')} scheduler" if scheduler else "")
               + ")")
+    graph_cache = telemetry.get("graph_cache")
+    cache_line = ""
+    if graph_cache:
+        cache_line = ("graph cache"
+                      f" hits={graph_cache.get('hits', 0)}"
+                      f" misses={graph_cache.get('misses', 0)}"
+                      f" evictions={graph_cache.get('evictions', 0)}"
+                      f" shared_hits={graph_cache.get('shared_hits', 0)}"
+                      f" maxsize={graph_cache.get('maxsize', 0)}")
     workers = telemetry.get("workers") or []
     if not workers:
-        return (f"{header}\n(no framed connections — per-connection "
+        text = (f"{header}\n(no framed connections — per-connection "
                 "counters exist only for the subprocess and socket "
                 "transports)")
+        return f"{text}\n{cache_line}" if cache_line else text
     columns = ["worker", "connections", "frames_sent", "tasks_sent",
                "batches_sent", "acks", "slow_acks", "requeues",
                "reconnects", "srtt_ms", "rttvar_ms", "peak_window",
                "bytes_sent", "bytes_received"]
+    if any(row.get("worker_pids") for row in workers):
+        # With process-backed slots these are the slot subprocess pids —
+        # one worker address may fan out to several executing processes.
+        workers = [dict(row, worker_pids=",".join(
+            str(pid) for pid in row.get("worker_pids") or [])) for row in workers]
+        columns.insert(1, "worker_pids")
     parts = [format_table(workers, columns=columns, title=header)]
     summary = (f"transport restarts={telemetry.get('restarts', 0)} "
                f"peak_window={telemetry.get('peak_window', 1)}")
     if scheduler:
         summary += f" scheduler requeues={scheduler.get('requeues', 0)}"
+    if cache_line:
+        summary += f"\n{cache_line}"
     parts.append(summary)
     return "\n".join(parts)
 

@@ -146,9 +146,16 @@ class RttEstimator:
                    FLUSH_HOLD_MAX)
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe summary (milliseconds, rounded for readability)."""
+        """JSON-safe summary (milliseconds, rounded for readability).
+
+        ``primed`` distinguishes a trustworthy smoothed RTT from a
+        1-sample guess: aggregation weights only primed estimators into
+        worker means, so one cold connection cannot drag a worker's
+        reported latency around.
+        """
         return {
             "samples": self.samples,
+            "primed": self.primed,
             "srtt_ms": round(self.srtt * 1000.0, 3),
             "rttvar_ms": round(self.rttvar * 1000.0, 3),
             "rto_ms": round(self.rto * 1000.0, 3),
@@ -171,7 +178,7 @@ class ConnectionStats:
     __slots__ = ("label", "slot", "rtt", "frames_sent", "tasks_sent",
                  "batches_sent", "acks", "slow_acks", "requeues",
                  "reconnects", "bytes_sent", "bytes_received", "window",
-                 "peak_window")
+                 "peak_window", "worker_pid")
 
     def __init__(self, label: str, slot: int) -> None:
         self.label = label
@@ -188,6 +195,18 @@ class ConnectionStats:
         self.bytes_received = 0
         self.window = 1
         self.peak_window = 1
+        self.worker_pid: Optional[int] = None
+
+    def note_peer(self, pid: Optional[int]) -> None:
+        """Record the serving peer's pid from its hello frame.
+
+        With process-backed worker slots this is the *slot subprocess*
+        pid (the hello is sent by whatever executes the tasks), so
+        telemetry rows name the actual process doing the work — distinct
+        from the worker's serving/accepting process.
+        """
+        if pid is not None:
+            self.worker_pid = int(pid)
 
     def note_send(self, tasks_in_frame: int, nbytes: int) -> None:
         """One frame written, carrying *tasks_in_frame* tasks."""
@@ -233,6 +252,7 @@ class ConnectionStats:
             "bytes_received": self.bytes_received,
             "window": self.window,
             "peak_window": self.peak_window,
+            "worker_pid": self.worker_pid,
             **self.rtt.snapshot(),
         }
 
@@ -243,10 +263,16 @@ def aggregate_by_worker(
     """Fold connection snapshots into one row per worker address.
 
     Counters sum; windows take the max; the smoothed RTT becomes a
-    sample-weighted mean over the worker's connections (a plain mean
-    would let an idle connection's cold estimate drag a busy one's
-    down).  Rows come back sorted by worker label so every surface
-    prints them in a stable order.
+    sample-weighted mean over the worker's *primed* connections (a plain
+    mean would let an idle connection's cold estimate drag a busy one's
+    down, and an unprimed 1-sample guess is noise, not signal — see
+    :meth:`RttEstimator.snapshot`).  A primed srtt of 0.0 ms is a
+    legitimate measurement on a loopback-fast link and is averaged in
+    like any other (missing values are ``None``, never falsy-zero).
+    ``worker_pids`` collects the pids that served the worker's
+    connections — with process slots, one per slot subprocess.  Rows
+    come back sorted by worker label so every surface prints them in a
+    stable order.
     """
     workers: Dict[str, Dict[str, Any]] = {}
     weighted: Dict[str, List[float]] = {}
@@ -259,9 +285,9 @@ def aggregate_by_worker(
                 "tasks_sent": 0, "batches_sent": 0, "acks": 0,
                 "slow_acks": 0, "requeues": 0, "reconnects": 0,
                 "bytes_sent": 0, "bytes_received": 0, "peak_window": 1,
-                "rtt_samples": 0,
+                "rtt_samples": 0, "worker_pids": [],
             }
-            weighted[label] = [0.0, 0.0]  # srtt * samples, rttvar * samples
+            weighted[label] = [0.0, 0.0, 0.0]  # srtt*w, rttvar*w, weight
         row["connections"] += 1
         for key in ("frames_sent", "tasks_sent", "batches_sent", "acks",
                     "slow_acks", "requeues", "reconnects", "bytes_sent",
@@ -269,14 +295,29 @@ def aggregate_by_worker(
             row[key] += int(snap.get(key, 0))
         row["peak_window"] = max(row["peak_window"],
                                  int(snap.get("peak_window", 1)))
+        pid = snap.get("worker_pid")
+        if pid is not None and pid not in row["worker_pids"]:
+            row["worker_pids"].append(pid)
         samples = int(snap.get("samples", 0))
         row["rtt_samples"] += samples
-        weighted[label][0] += float(snap.get("srtt_ms") or 0.0) * samples
-        weighted[label][1] += float(snap.get("rttvar_ms") or 0.0) * samples
+        # Weight only primed estimators (snapshots predating the field
+        # fall back to the priming threshold on their sample count), and
+        # never treat a measured 0.0 as missing.
+        primed = snap.get("primed")
+        if primed is None:
+            primed = samples >= RTT_PRIME_SAMPLES
+        srtt = snap.get("srtt_ms")
+        if primed and srtt is not None and samples > 0:
+            rttvar = snap.get("rttvar_ms")
+            weighted[label][0] += float(srtt) * samples
+            weighted[label][1] += (float(rttvar) * samples
+                                   if rttvar is not None else 0.0)
+            weighted[label][2] += samples
     for label, row in workers.items():
-        samples = row["rtt_samples"]
-        row["srtt_ms"] = (round(weighted[label][0] / samples, 3)
-                          if samples else None)
-        row["rttvar_ms"] = (round(weighted[label][1] / samples, 3)
-                            if samples else None)
+        row["worker_pids"].sort()
+        weight = weighted[label][2]
+        row["srtt_ms"] = (round(weighted[label][0] / weight, 3)
+                          if weight else None)
+        row["rttvar_ms"] = (round(weighted[label][1] / weight, 3)
+                            if weight else None)
     return [workers[label] for label in sorted(workers)]

@@ -540,6 +540,8 @@ class _SubprocessPeer:
     def __init__(self) -> None:
         #: Capabilities from the worker's hello frame (set post-handshake).
         self.features: Tuple[str, ...] = ()
+        #: Pid of the serving process, from the hello (set post-handshake).
+        self.pid: Optional[int] = None
         # The worker must be able to `import repro` even when the
         # coordinator runs from a source checkout that is only on
         # sys.path, not installed: prepend our package root.
@@ -591,6 +593,9 @@ class _SocketPeer:
         self.address = address
         #: Capabilities from the worker's hello frame (set post-handshake).
         self.features: Tuple[str, ...] = ()
+        #: Pid of the task-executing process, from the hello frame (set
+        #: post-handshake; a slot subprocess for process-backed workers).
+        self.pid: Optional[int] = None
         # The dial *and* the hello frame are bounded by connect_timeout (a
         # peer that accepts but never says hello must not hang the
         # coordinator); _dial_worker lifts the timeout once the handshake
@@ -824,6 +829,10 @@ class _FramedSession(TransportSession):
             self._batch_ok[slot] = (self._max_batch > 1
                                     and "batch" in features)
             self._stats[slot].note_window(self._cwnd[slot])
+            # The hello's pid is whatever process executes this slot's
+            # tasks (a slot subprocess for process-backed workers), so
+            # telemetry rows name the actual worker process.
+            self._stats[slot].note_peer(getattr(peer, "pid", None))
 
     def _slow_threshold(self, slot: int) -> Optional[float]:
         """The blocked-read duration that reads as congestion for *slot*.
@@ -1140,6 +1149,7 @@ class _SubprocessSession(_FramedSession):
             peer.dispose(graceful=False)
             raise
         peer.features = tuple(hello.get("features", ()))
+        peer.pid = hello.get("pid")
         return peer
 
 
@@ -1237,6 +1247,7 @@ def _dial_worker(address: Tuple[str, int],
         peer.dispose(graceful=False)
         raise
     peer.features = tuple(hello.get("features", ()))
+    peer.pid = hello.get("pid")
     peer.sock.settimeout(None)
     return peer
 

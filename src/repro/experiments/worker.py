@@ -46,25 +46,37 @@ keeps serving); only an actual worker death — which the coordinator
 detects as EOF/reset on *its* end — triggers restart/reconnect-and-
 requeue.
 
-``--slots N`` makes one TCP worker process serve up to N coordinator
-connections concurrently, one slot thread per connection (the handshake
-is unchanged — it happens once per connection).  The point of slots over
-N separate worker processes is the shared process state: every slot
-thread reads the same :func:`~repro.experiments.executor._build_graph`
-LRU, so N slots on one host build each ``(family, n, graph_seed)`` graph
-once instead of N times.  That sharing is safe because graphs are
-**read-only** after construction — algorithms never mutate them (pinned
-by ``tests/test_executor.py``).  Slot threads still share the GIL; for
-CPU-bound parallelism across cores, run several worker processes (each
-with as many slots as you like).
+``--slots N`` makes one TCP worker serve up to N coordinator connections
+concurrently (the handshake is unchanged — it happens once per
+connection, and its ``pid`` is the pid of whatever actually executes the
+tasks).  With more than one slot, each accepted connection is served by
+a **slot subprocess** (``--slot-mode process``, the default), so an
+N-slot worker donates N cores instead of N threads fighting over one
+GIL.  What the slots share is the graph work: the *serving* process owns
+a :class:`~repro.experiments.shm_cache.SharedGraphCache` of flat CSR
+adjacency arrays (:mod:`repro.graphs.csr`) in
+``multiprocessing.shared_memory`` — one segment per ``(family, n,
+graph_seed)``, generated once per host — and every slot maps the
+segments read-only (zero-copy) instead of regenerating graphs.  That
+sharing is safe because graphs are **read-only** after construction —
+algorithms never mutate them (pinned by ``tests/test_executor.py``) —
+and the segments are owned by the serving process and unlinked exactly
+once (LRU eviction or shutdown), never by a slot.  ``--slot-mode
+thread`` restores the historical thread slots (shared in-process
+:func:`~repro.experiments.executor._build_graph` LRU, GIL-bound);
+``--start-method fork|spawn|forkserver`` pins how slot subprocesses are
+started.  A single-slot worker stays in-process either way unless
+``--slot-mode process`` is asked for explicitly.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import multiprocessing
 import os
 import socket
+import stat
 import struct
 import sys
 import threading
@@ -257,6 +269,115 @@ def serve_stream(reader: BinaryIO, writer: BinaryIO,
                                  "result": result.to_record(), **reply})
 
 
+def _close_inherited_sockets(keep: Tuple[int, ...]) -> None:
+    """Close socket fds a forked slot inherited from the serving process.
+
+    A fork duplicates the parent's whole fd table.  When :func:`serve`
+    is embedded in the coordinator's own process, that table includes
+    the coordinator side of *sibling* connections — and a slot holding
+    such a duplicate keeps the sibling's socket alive past the
+    coordinator's ``close()``, so the sibling slot never sees EOF and
+    ``serve()`` never drains.  Closing every inherited socket except our
+    own connection and control pipe restores fork/spawn parity (spawn
+    children never inherit them in the first place).  Non-socket fds
+    (pipes, files, multiprocessing's resource-tracker FIFO) are left
+    alone.
+    """
+    keep_fds = set(keep) | {0, 1, 2}
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):
+        return  # no procfs — only reachable where we never fork slots
+    for fd in fds:
+        if fd in keep_fds:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+def _slot_process_main(connection: socket.socket, control: Any) -> None:
+    """Entry point of one slot subprocess: serve exactly one connection.
+
+    The accepted socket travels here through ``multiprocessing``'s fd
+    reduction (works under fork and spawn alike), so the framed protocol
+    — hello included, now carrying *this* process's pid — is unchanged.
+    *control* is the pipe back to the serving process; it carries graph
+    requests (``("graph", family, n, graph_seed)`` → ``("ok",
+    segment_name)``) and a one-shot ``("served",)`` once the first valid
+    task frame arrives (the serving process's ``max_connections``
+    budget).  Fetched segments are attached zero-copy and parked in the
+    slot-local :func:`~repro.experiments.executor._build_graph` LRU, so
+    the control round-trip happens once per combo per slot.
+
+    Fault injection runs with ``scope="process"`` here: ``os._exit(17)``
+    kills *this slot only* — the serving process survives, the
+    coordinator sees a connection death, and the shared segments stay
+    owned (and eventually unlinked) by the server.
+    """
+    import signal
+
+    with contextlib.suppress(Exception):
+        # The operator's Ctrl-C belongs to the serving process, which
+        # terminates slots in an orderly way; a process-group SIGINT must
+        # not splatter one traceback per slot.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    with contextlib.suppress(Exception):
+        _close_inherited_sockets((connection.fileno(), control.fileno()))
+
+    from repro.experiments import executor, shm_cache
+
+    def _fetch(family: str, n: int, graph_seed: int):
+        try:
+            control.send(("graph", family, n, graph_seed))
+            kind, payload = control.recv()
+        except (EOFError, OSError):
+            return None
+        if kind != "ok":
+            return None
+        try:
+            return shm_cache.attach_segment(payload)
+        except Exception:
+            # Segment evicted between reply and attach (or any mapping
+            # hiccup): regenerate locally rather than failing the task.
+            return None
+
+    executor._reset_worker_graph_cache()
+    executor.set_shared_graph_source(_fetch)
+    notified = {"sent": False}
+
+    class _ServedSignal(dict):
+        """Stats dict that tells the server about the first valid task."""
+
+        def __setitem__(self, key, value):
+            super().__setitem__(key, value)
+            if key == "tasks" and value > 0 and not notified["sent"]:
+                notified["sent"] = True
+                with contextlib.suppress(OSError):
+                    control.send(("served",))
+
+    stats = _ServedSignal(tasks=0)
+    reader = connection.makefile("rb")
+    writer = connection.makefile("wb")
+    try:
+        serve_stream(reader, writer, fault_scope="process", stats=stats)
+    except OSError:
+        pass  # the coordinator vanished mid-frame
+    except Exception as error:
+        print(f"repro-mis worker: slot {os.getpid()} dropping its "
+              f"connection: {error!r}", file=sys.stderr, flush=True)
+    finally:
+        for stream in (reader, writer):
+            with contextlib.suppress(OSError):
+                stream.close()
+        with contextlib.suppress(OSError):
+            connection.close()
+        with contextlib.suppress(OSError):
+            control.close()
+
+
 def parse_listen_address(listen: str) -> Tuple[str, int]:
     """Parse a ``HOST:PORT`` / ``[IPV6]:PORT`` listen address (port 0 =
     ephemeral)."""
@@ -272,19 +393,29 @@ def parse_listen_address(listen: str) -> Tuple[str, int]:
 
 def serve(listen: str, max_connections: Optional[int] = None,
           slots: int = 1,
-          on_listening: Optional[Callable[[str, int], None]] = None) -> int:
+          on_listening: Optional[Callable[[str, int], None]] = None,
+          slot_mode: Optional[str] = None,
+          start_method: Optional[str] = None) -> int:
     """Serve the framed task protocol over TCP until interrupted.
 
-    *slots* is how many coordinator connections are served concurrently:
-    each accepted connection gets a slot thread running
-    :func:`serve_stream` over the unchanged framed protocol, and the
-    accept loop stops handing out connections while all slots are busy.
-    All slot threads share the process's
-    :func:`~repro.experiments.executor._build_graph` LRU — graphs are
-    read-only, so N slots build each ``(family, n, graph_seed)`` once
-    instead of N times.  After a coordinator disconnects, its slot frees
-    and the worker keeps accepting, so one long-lived worker serves any
-    number of sweeps.
+    *slots* is how many coordinator connections are served concurrently,
+    and the accept loop stops handing out connections while all slots
+    are busy.  *slot_mode* picks what a slot is:
+
+    - ``"process"`` (the default whenever ``slots > 1``): each accepted
+      connection is served by a subprocess, so N slots donate N cores.
+      Graphs are shared through this process's
+      :class:`~repro.experiments.shm_cache.SharedGraphCache` — flat CSR
+      arrays in ``multiprocessing.shared_memory``, generated once per
+      ``(family, n, graph_seed)`` and mapped read-only by every slot.
+      The segments are owned *here* and unlinked exactly once (eviction
+      or the shutdown path below); slots only close their mappings.
+    - ``"thread"`` (the default for ``slots == 1``, and the historical
+      multi-slot behaviour): slot threads in this process sharing the
+      in-process :func:`~repro.experiments.executor._build_graph` LRU.
+
+    *start_method* (``fork``/``spawn``/``forkserver``) pins how slot
+    subprocesses start; ``None`` uses the platform default.
 
     *max_connections* bounds how many connections are served before
     returning (``None`` = forever); tests and demos use it for a
@@ -305,21 +436,62 @@ def serve(listen: str, max_connections: Optional[int] = None,
             f"invalid slots value {slots!r}: need a positive int (the "
             "number of coordinator connections served concurrently)"
         )
+    if slot_mode not in (None, "thread", "process"):
+        raise ConfigurationError(
+            f"invalid slot mode {slot_mode!r}: choose 'thread' or "
+            "'process'")
+    resolved_mode = slot_mode or ("process" if slots > 1 else "thread")
+    mp_context = None
+    shared_cache = None
+    if resolved_mode == "process":
+        try:
+            mp_context = multiprocessing.get_context(start_method)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid start method {start_method!r}: this platform "
+                f"supports {multiprocessing.get_all_start_methods()}"
+            ) from None
+        from repro.experiments.shm_cache import (SharedGraphCache,
+                                                 reap_stale_segments)
+
+        reaped = reap_stale_segments()
+        if reaped:
+            print(f"repro-mis worker: reaped {len(reaped)} orphaned shared "
+                  "graph segment(s) from dead workers",
+                  file=sys.stderr, flush=True)
+        shared_cache = SharedGraphCache()
+    elif start_method is not None:
+        raise ConfigurationError(
+            "--start-method only applies to process slots "
+            "(slot mode 'process')")
     family = socket.AF_INET6 if ":" in host else socket.AF_INET
     server = socket.create_server((host, port), family=family)
     lock = threading.Lock()
     state = {"served": 0, "closing": False}
     capacity = threading.BoundedSemaphore(slots)
     threads: List[threading.Thread] = []
-    # A single-slot worker dies whole on an injected fault (the historical
-    # exit-17 the crash suites assert on); in a multi-slot worker one slot
-    # cannot take its siblings down, so the fault kills just the connection.
+    slot_processes: List[Any] = []
+    # A single-slot in-process worker dies whole on an injected fault (the
+    # historical exit-17 the crash suites assert on); in a multi-slot
+    # worker one slot cannot take its siblings down, so the fault kills
+    # just the connection (thread slots) or just the slot subprocess
+    # (process slots — which exits 17, the same signature, without
+    # touching the serving process).
     fault_scope = "process" if slots == 1 else "connection"
     interrupted = False
 
     def _exhausted() -> bool:
         return (max_connections is not None
                 and state["served"] >= max_connections)
+
+    def _count_connection(proved: bool) -> None:
+        with lock:
+            if proved:
+                state["served"] += 1
+            if _exhausted():
+                # The accept loop polls `closing` (closing the listener
+                # from here would not wake a blocked accept).
+                state["closing"] = True
 
     def _serve_connection(connection: socket.socket, peer: str) -> None:
         stats = {"tasks": 0}
@@ -352,24 +524,89 @@ def serve(listen: str, max_connections: Optional[int] = None,
             print(f"repro-mis worker: coordinator {peer} disconnected",
                   file=sys.stderr, flush=True)
         finally:
-            with lock:
-                if stats["tasks"] > 0:
-                    state["served"] += 1
-                if _exhausted():
-                    # The accept loop polls `closing` (closing the
-                    # listener from here would not wake a blocked accept).
-                    state["closing"] = True
+            _count_connection(stats["tasks"] > 0)
             capacity.release()
+
+    def _relay_connection(connection: socket.socket, peer: str) -> None:
+        """Serve one connection through a slot subprocess.
+
+        This (serving-process) thread does no task work: it forwards the
+        accepted socket to a fresh slot process, then services the slot's
+        control pipe — shared-segment requests and the served-a-task
+        signal — until the slot exits.
+        """
+        proved = False
+        process = None
+        parent_end = None
+        try:
+            parent_end, child_end = mp_context.Pipe()
+            process = mp_context.Process(
+                target=_slot_process_main, args=(connection, child_end),
+                name=f"repro-worker-slot[{peer}]", daemon=True)
+            process.start()
+            with lock:
+                slot_processes.append(process)
+            # The slot owns its duplicates now; keeping ours would hold
+            # the connection (and the pipe write end) open past its death.
+            child_end.close()
+            connection.close()
+            while True:
+                try:
+                    message = parent_end.recv()
+                except (EOFError, OSError):
+                    break
+                if message[0] == "graph":
+                    _, graph_family, n, graph_seed = message
+                    try:
+                        reply = ("ok", shared_cache.get_or_create(
+                            graph_family, n, graph_seed))
+                    except Exception as error:
+                        reply = ("error", repr(error))
+                    try:
+                        parent_end.send(reply)
+                    except (OSError, BrokenPipeError):
+                        break
+                elif message[0] == "served":
+                    proved = True
+        finally:
+            with contextlib.suppress(OSError):
+                connection.close()
+            if parent_end is not None:
+                with contextlib.suppress(OSError):
+                    parent_end.close()
+            if process is not None:
+                if process.pid is not None:
+                    process.join()
+                with lock:
+                    with contextlib.suppress(ValueError):
+                        slot_processes.remove(process)
+                if process.exitcode == 17:
+                    print("repro-mis worker: fault injection killed the "
+                          f"slot serving {peer} (exit 17); worker "
+                          "continues", file=sys.stderr, flush=True)
+                elif process.exitcode not in (0, None):
+                    print(f"repro-mis worker: slot serving {peer} exited "
+                          f"with code {process.exitcode}",
+                          file=sys.stderr, flush=True)
+            print(f"repro-mis worker: coordinator {peer} disconnected",
+                  file=sys.stderr, flush=True)
+            _count_connection(proved)
+            capacity.release()
+
+    handler = (_relay_connection if resolved_mode == "process"
+               else _serve_connection)
 
     try:
         bound_host, bound_port = server.getsockname()[:2]
         print("repro-mis worker: listening on "
               f"{format_address(bound_host, bound_port)}",
               file=sys.stderr, flush=True)
-        if slots > 1:
+        if slots > 1 or resolved_mode == "process":
+            detail = ("process slots, shared-memory CSR graph cache"
+                      if resolved_mode == "process"
+                      else "thread slots, shared graph cache")
             print(f"repro-mis worker: serving up to {slots} concurrent "
-                  "connections (shared graph cache)",
-                  file=sys.stderr, flush=True)
+                  f"connections ({detail})", file=sys.stderr, flush=True)
         if on_listening is not None:
             on_listening(bound_host, bound_port)
         # Accept with a short timeout rather than blocking forever: a slot
@@ -410,7 +647,7 @@ def serve(listen: str, max_connections: Optional[int] = None,
             # object per connection it ever served.
             threads[:] = [t for t in threads if t.is_alive()]
             thread = threading.Thread(
-                target=_serve_connection,
+                target=handler,
                 args=(connection,
                       format_address(peer_address[0], peer_address[1])),
                 name=f"repro-worker-slot-{accepted}", daemon=True)
@@ -430,15 +667,34 @@ def serve(listen: str, max_connections: Optional[int] = None,
         # for longer than any fixed timeout, and its coordinator will
         # disconnect when done, exactly like the historical sequential
         # serve loop.  Only an operator interrupt gives up after a grace
-        # period and abandons the daemon threads.
+        # period: slot subprocesses are terminated (their relay threads
+        # then join them) and any remaining daemon threads abandoned.
+        if interrupted:
+            with lock:
+                lingering = list(slot_processes)
+            for process in lingering:
+                with contextlib.suppress(Exception):
+                    process.terminate()
         for thread in threads:
             thread.join(timeout=5.0 if interrupted else None)
+        if shared_cache is not None:
+            # Every slot has been joined (or abandoned as terminated), so
+            # this is the single place the segments are unlinked.
+            stats = shared_cache.stats()
+            shared_cache.close()
+            print("repro-mis worker: shared graph cache "
+                  f"hits={stats['hits']} misses={stats['misses']} "
+                  f"evictions={stats['evictions']} "
+                  f"unlinked={stats['currsize']}",
+                  file=sys.stderr, flush=True)
     return 0
 
 
 def spawn_local_worker(extra_env: Optional[Dict[str, str]] = None,
                        host: str = "127.0.0.1", slots: int = 1,
                        max_connections: Optional[int] = None,
+                       slot_mode: Optional[str] = None,
+                       start_method: Optional[str] = None,
                        ) -> Tuple[Any, str]:
     """Spawn a local TCP worker on an ephemeral port (test/demo helper).
 
@@ -463,15 +719,28 @@ def spawn_local_worker(extra_env: Optional[Dict[str, str]] = None,
         command += ["--slots", str(slots)]
     if max_connections is not None:
         command += ["--max-connections", str(max_connections)]
+    if slot_mode is not None:
+        command += ["--slot-mode", slot_mode]
+    if start_method is not None:
+        command += ["--start-method", start_method]
     process = subprocess.Popen(command, stderr=subprocess.PIPE, text=True,
                                env=env)
-    announcement = process.stderr.readline()
-    match = re.search(r"listening on \S+:(\d+)", announcement)
+    # The announcement is not necessarily the first stderr line (a
+    # starting worker may first report reaping orphaned segments), so
+    # scan until it appears or the stream ends.
+    match = None
+    seen = []
+    while match is None:
+        announcement = process.stderr.readline()
+        if not announcement:
+            break
+        seen.append(announcement)
+        match = re.search(r"listening on \S+:(\d+)", announcement)
     if not match:
         process.kill()
         process.wait()
         raise RuntimeError(
-            f"worker failed to announce its port: {announcement!r}")
+            f"worker failed to announce its port: {''.join(seen)!r}")
     threading.Thread(target=process.stderr.read, daemon=True).start()
     return process, f"{host}:{match.group(1)}"
 
@@ -490,17 +759,41 @@ def main(argv: Optional[list] = None) -> int:
                              "[IPV6]:PORT accepted)")
     parser.add_argument("--slots", type=int, default=1, metavar="N",
                         help="serve up to N coordinator connections "
-                             "concurrently, sharing one graph cache "
-                             "(default: 1; TCP mode only)")
+                             "concurrently, sharing the host's graph "
+                             "work (default: 1; TCP mode only)")
     parser.add_argument("--max-connections", type=int, default=None,
                         metavar="N",
                         help="exit after N connections that served at "
                              "least one task (default: serve forever)")
+    parser.add_argument("--slot-mode", choices=["thread", "process"],
+                        default=None,
+                        help="what a slot is: 'process' (subprocess per "
+                             "connection, shared-memory CSR graph cache; "
+                             "default when --slots > 1) or 'thread' "
+                             "(historical GIL-bound slot threads; default "
+                             "for --slots 1)")
+    parser.add_argument("--start-method",
+                        choices=["fork", "spawn", "forkserver"],
+                        default=None,
+                        help="multiprocessing start method for process "
+                             "slots (default: platform default)")
     args = parser.parse_args(argv)
     if args.listen is not None:
+        # SIGTERM (plain `kill`, fixture teardown) takes the same orderly
+        # shutdown path as Ctrl-C: join/terminate slots, unlink every
+        # shared graph segment exactly once.  SIGKILL is unmaskable; the
+        # next worker to start reaps any segments it orphaned.
+        import signal
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        with contextlib.suppress(ValueError, OSError):
+            signal.signal(signal.SIGTERM, _terminate)
         try:
             return serve(args.listen, max_connections=args.max_connections,
-                         slots=args.slots)
+                         slots=args.slots, slot_mode=args.slot_mode,
+                         start_method=args.start_method)
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -1,0 +1,322 @@
+"""Flat CSR adjacency arrays — the shareable graph representation.
+
+A :class:`CSRGraph` stores a simple undirected graph as four flat int64
+arrays:
+
+- ``offsets`` (``n + 1`` words): row ``i``'s neighbours live at
+  ``neighbors[offsets[i]:offsets[i + 1]]``, sorted ascending.
+- ``neighbors`` (``2m`` words): neighbour *indices* (0-based row numbers,
+  not labels).
+- ``arrivals`` (``2m`` words): ``arrivals[offsets[i] + p]`` is the port on
+  which node ``i``'s port-``p`` neighbour receives messages *from* ``i`` —
+  precomputed so a network view needs no per-node dictionaries at all.
+- ``labels`` (``n`` words): the original node labels, in ``graph.nodes``
+  order.  Rows are built in this same order and per-row neighbours are
+  sorted by index, exactly mirroring :class:`repro.sim.network.Network`'s
+  port numbering, so simulations over either representation are
+  byte-identical.
+
+The arrays serialise into one contiguous buffer (``pack_into`` /
+``from_buffer``) with a small header, which is what the worker's
+``multiprocessing.shared_memory`` graph cache maps read-only into every
+slot process: :meth:`CSRGraph.from_buffer` is zero-copy (memoryview
+slices over the segment), so attaching a cached graph costs O(1)
+regardless of size.
+
+:class:`CSRGraphView` wraps the arrays in the small read-only subset of
+the :mod:`networkx` API the harness and verifiers use (``nodes``,
+``edges``, ``neighbors``, ``number_of_nodes`` …), so a CSR-backed graph
+can flow through ``run_mis`` unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: First header word of every serialised CSR buffer ("CSRG"); attaching a
+#: shared-memory segment that does not start with it fails loudly instead
+#: of mis-slicing garbage.
+MAGIC = 0x43535247
+
+_WORD_FORMAT = "q"
+WORD_BYTES = 8
+HEADER_WORDS = 3  # MAGIC, n, m
+
+
+def _as_words(buffer: Any) -> memoryview:
+    """Return *buffer* as a flat int64 memoryview (zero-copy)."""
+    view = memoryview(buffer)
+    if view.format != _WORD_FORMAT or view.itemsize != WORD_BYTES:
+        view = view.cast("B").cast(_WORD_FORMAT)
+    return view
+
+
+class CSRGraph:
+    """Flat int64 CSR arrays for a simple undirected graph."""
+
+    __slots__ = ("n", "m", "offsets", "neighbors", "arrivals", "labels",
+                 "_owner")
+
+    def __init__(self, n: int, m: int, offsets: memoryview,
+                 neighbors: memoryview, arrivals: memoryview,
+                 labels: memoryview, owner: Any = None) -> None:
+        self.n = int(n)
+        self.m = int(m)
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.arrivals = arrivals
+        self.labels = labels
+        # Keeps the backing storage (e.g. a SharedMemory mapping) alive for
+        # as long as any view of these arrays is.
+        self._owner = owner
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: Any) -> "CSRGraph":
+        """Build CSR arrays from a networkx-style graph.
+
+        Node order and per-row neighbour order match what
+        ``Network(graph)`` computes, so port numbering — and therefore
+        every simulated byte — is identical between representations.
+        """
+        if graph.is_directed() or graph.is_multigraph():
+            raise ConfigurationError(
+                "CSR graphs require a simple undirected graph")
+        label_list = list(graph.nodes)
+        n = len(label_list)
+        index_of: Dict[Any, int] = {label: index
+                                    for index, label in enumerate(label_list)}
+        for label in label_list:
+            if not isinstance(label, int) or isinstance(label, bool):
+                raise ConfigurationError(
+                    "CSR graphs require integer node labels; got "
+                    f"{label!r}")
+        adjacency: List[List[int]] = []
+        for index, label in enumerate(label_list):
+            row = sorted(index_of[neighbor]
+                         for neighbor in graph.neighbors(label))
+            if index in row:
+                raise ConfigurationError(
+                    f"CSR graphs reject self-loops (node {label!r})")
+            adjacency.append(row)
+
+        offsets = array(_WORD_FORMAT, [0]) * (n + 1)
+        for index, row in enumerate(adjacency):
+            offsets[index + 1] = offsets[index] + len(row)
+        directed_m = offsets[n] if n else 0
+        neighbors = array(_WORD_FORMAT)
+        for row in adjacency:
+            neighbors.extend(row)
+        arrivals = array(_WORD_FORMAT, [0]) * directed_m
+        for u, row in enumerate(adjacency):
+            base = offsets[u]
+            for port, v in enumerate(row):
+                arrivals[base + port] = bisect_left(adjacency[v], u)
+        labels = array(_WORD_FORMAT, label_list)
+        return cls(n, directed_m // 2, memoryview(offsets),
+                   memoryview(neighbors), memoryview(arrivals),
+                   memoryview(labels))
+
+    @classmethod
+    def from_buffer(cls, buffer: Any, owner: Any = None) -> "CSRGraph":
+        """Attach to a serialised CSR buffer without copying.
+
+        *owner* (typically a ``SharedMemory`` object) is retained so the
+        mapping outlives every view handed out.
+        """
+        words = _as_words(buffer)
+        if len(words) < HEADER_WORDS or words[0] != MAGIC:
+            raise ConfigurationError(
+                "buffer does not hold a CSR graph (bad magic)")
+        n, m = words[1], words[2]
+        expected = HEADER_WORDS + (n + 1) + 4 * m + n
+        if n < 0 or m < 0 or len(words) < expected:
+            raise ConfigurationError(
+                f"CSR buffer truncated: header says n={n} m={m} "
+                f"({expected} words) but only {len(words)} are present")
+        cursor = HEADER_WORDS
+        offsets = words[cursor:cursor + n + 1]
+        cursor += n + 1
+        neighbors = words[cursor:cursor + 2 * m]
+        cursor += 2 * m
+        arrivals = words[cursor:cursor + 2 * m]
+        cursor += 2 * m
+        labels = words[cursor:cursor + n]
+        return cls(n, m, offsets, neighbors, arrivals, labels, owner=owner)
+
+    # -- serialisation --------------------------------------------------
+
+    @property
+    def word_count(self) -> int:
+        return HEADER_WORDS + (self.n + 1) + 4 * self.m + self.n
+
+    @property
+    def nbytes(self) -> int:
+        return WORD_BYTES * self.word_count
+
+    def pack_into(self, buffer: Any) -> None:
+        """Serialise into a writable *buffer* of at least ``nbytes``."""
+        words = _as_words(buffer)
+        if len(words) < self.word_count:
+            raise ConfigurationError(
+                f"buffer holds {len(words)} words; this CSR graph needs "
+                f"{self.word_count}")
+        words[0] = MAGIC
+        words[1] = self.n
+        words[2] = self.m
+        cursor = HEADER_WORDS
+        for segment in (self.offsets, self.neighbors, self.arrivals,
+                        self.labels):
+            words[cursor:cursor + len(segment)] = segment
+            cursor += len(segment)
+
+    def to_bytes(self) -> bytes:
+        buffer = bytearray(self.nbytes)
+        self.pack_into(buffer)
+        return bytes(buffer)
+
+    # -- accessors ------------------------------------------------------
+
+    def degree(self, index: int) -> int:
+        return self.offsets[index + 1] - self.offsets[index]
+
+    def neighbor_row(self, index: int) -> memoryview:
+        """Sorted neighbour indices of row *index* (zero-copy slice)."""
+        return self.neighbors[self.offsets[index]:self.offsets[index + 1]]
+
+    def arrival_row(self, index: int) -> memoryview:
+        """Arrival ports aligned with :meth:`neighbor_row` (zero-copy)."""
+        return self.arrivals[self.offsets[index]:self.offsets[index + 1]]
+
+    def view(self) -> "CSRGraphView":
+        return CSRGraphView(self)
+
+
+class _NodeView:
+    """Read-only stand-in for ``networkx.Graph.nodes``."""
+
+    __slots__ = ("_labels", "_members")
+
+    def __init__(self, labels: memoryview) -> None:
+        self._labels = labels
+        self._members: Optional[frozenset] = None
+
+    def __call__(self) -> "_NodeView":
+        return self
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._labels)
+
+    def __contains__(self, label: Any) -> bool:
+        if self._members is None:
+            self._members = frozenset(self._labels)
+        return label in self._members
+
+
+class _EdgeView:
+    """Read-only stand-in for ``networkx.Graph.edges`` (each edge once)."""
+
+    __slots__ = ("_csr",)
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self._csr = csr
+
+    def __call__(self) -> "_EdgeView":
+        return self
+
+    def __len__(self) -> int:
+        return self._csr.m
+
+    def __iter__(self) -> Iterator[tuple]:
+        csr = self._csr
+        offsets, neighbors, labels = csr.offsets, csr.neighbors, csr.labels
+        for u in range(csr.n):
+            for cursor in range(offsets[u], offsets[u + 1]):
+                v = neighbors[cursor]
+                if u < v:
+                    yield (labels[u], labels[v])
+
+
+class CSRGraphView:
+    """The read-only networkx API subset, backed by flat CSR arrays.
+
+    Exposes exactly what ``run_mis`` and the MIS verifiers touch:
+    ``nodes`` / ``edges`` views, ``neighbors``, node/edge counts, and the
+    directed/multigraph predicates.  ``run_protocol`` recognises this
+    type and builds a zero-copy :class:`repro.sim.network.CSRNetwork`
+    instead of re-deriving adjacency dictionaries.
+    """
+
+    __slots__ = ("_csr", "_index_of")
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self._csr = csr
+        self._index_of: Optional[Dict[int, int]] = None
+
+    @property
+    def csr(self) -> CSRGraph:
+        return self._csr
+
+    def _index(self, label: Any) -> int:
+        if self._index_of is None:
+            self._index_of = {node: index for index, node
+                              in enumerate(self._csr.labels)}
+        return self._index_of[label]
+
+    # -- networkx surface ----------------------------------------------
+
+    @property
+    def nodes(self) -> _NodeView:
+        return _NodeView(self._csr.labels)
+
+    @property
+    def edges(self) -> _EdgeView:
+        return _EdgeView(self._csr)
+
+    def is_directed(self) -> bool:
+        return False
+
+    def is_multigraph(self) -> bool:
+        return False
+
+    def number_of_nodes(self) -> int:
+        return self._csr.n
+
+    def number_of_edges(self) -> int:
+        return self._csr.m
+
+    def order(self) -> int:
+        return self._csr.n
+
+    def neighbors(self, label: Any) -> Iterator[int]:
+        csr = self._csr
+        index = self._index(label)
+        labels = csr.labels
+        for cursor in range(csr.offsets[index], csr.offsets[index + 1]):
+            yield labels[csr.neighbors[cursor]]
+
+    def has_edge(self, u: Any, v: Any) -> bool:
+        try:
+            row = self._csr.neighbor_row(self._index(u))
+            target = self._index(v)
+        except KeyError:
+            return False
+        cursor = bisect_left(row, target)
+        return cursor < len(row) and row[cursor] == target
+
+    def __len__(self) -> int:
+        return self._csr.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._csr.labels)
+
+    def __contains__(self, label: Any) -> bool:
+        return label in self.nodes

@@ -179,6 +179,28 @@ FAMILIES = {
 }
 
 
+def to_csr(graph: nx.Graph):
+    """Convert *graph* to flat CSR arrays (:class:`repro.graphs.csr.CSRGraph`).
+
+    Port numbering matches ``Network(graph)`` exactly, so simulating over
+    the CSR representation is byte-identical to the adjacency-list one.
+    """
+    from repro.graphs.csr import CSRGraph
+
+    return CSRGraph.from_graph(graph)
+
+
+def build_csr(name: str, n: int, seed: SeedLike = None):
+    """Generate family *name* and return it as CSR arrays directly.
+
+    This is what the worker's shared-memory graph cache serialises: the
+    generators above stay networkx-based (they lean on ``nx`` builders),
+    but everything downstream of the cache only ever sees the flat
+    arrays.
+    """
+    return to_csr(by_name(name, n, seed=seed))
+
+
 def by_name(name: str, n: int, seed: SeedLike = None) -> nx.Graph:
     """Return the graph family *name* instantiated with *n* nodes.
 

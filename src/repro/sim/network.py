@@ -9,12 +9,14 @@ outputs back to graph node labels.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.errors import ConfigurationError
+from repro.graphs.csr import CSRGraph, CSRGraphView
 
 
 @dataclass(frozen=True)
@@ -141,3 +143,122 @@ class Network:
             tuple(self._ports[v].port_of[u] for v in ports.neighbors)
             for u, ports in enumerate(self._ports)
         ]
+
+    def csr_tables(self) -> Optional[Tuple[Sequence[int], Sequence[int],
+                                           Sequence[int]]]:
+        """Flat ``(offsets, neighbors, arrivals)`` arrays, if CSR-backed.
+
+        The adjacency-list network returns ``None``; the runner falls back
+        to the per-node tables above.
+        """
+        return None
+
+
+class CSRNetwork:
+    """A port-numbered network over flat CSR arrays — zero extra copies.
+
+    Drop-in for :class:`Network` (same accessor surface), but built
+    directly from a :class:`repro.graphs.csr.CSRGraph`: the arrival ports
+    were precomputed when the CSR arrays were built, so construction is
+    O(1) even when the arrays live in a shared-memory segment mapped by a
+    worker slot process.  CSR rows are sorted by neighbour index — the
+    exact port numbering ``Network`` derives — so both views simulate
+    byte-identically (pinned by ``tests/test_csr.py``).
+    """
+
+    def __init__(self, csr: "CSRGraph | CSRGraphView") -> None:
+        if isinstance(csr, CSRGraphView):
+            self._view = csr
+            self._csr = csr.csr
+        else:
+            self._csr = csr
+            self._view = csr.view()
+        self._index_of: Optional[Dict[Any, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Size / lookup helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRGraphView:
+        """The underlying graph view (not copied)."""
+        return self._view
+
+    @property
+    def size(self) -> int:
+        return self._csr.n
+
+    @property
+    def edge_count(self) -> int:
+        return self._csr.m
+
+    def labels(self) -> List[Any]:
+        return list(self._csr.labels)
+
+    def label_of(self, index: int) -> Any:
+        return self._csr.labels[index]
+
+    def index_of(self, label: Any) -> int:
+        if self._index_of is None:
+            self._index_of = {node: index for index, node
+                              in enumerate(self._csr.labels)}
+        return self._index_of[label]
+
+    def degree(self, index: int) -> int:
+        return self._csr.degree(index)
+
+    def neighbor_via_port(self, index: int, port: int) -> int:
+        degree = self._csr.degree(index)
+        if not 0 <= port < degree:
+            raise ConfigurationError(
+                f"node {self.label_of(index)} has ports 0..{degree - 1}, "
+                f"got {port}"
+            )
+        return self._csr.neighbors[self._csr.offsets[index] + port]
+
+    def port_towards(self, index: int, neighbor_index: int) -> int:
+        row = self._csr.neighbor_row(index)
+        port = bisect_left(row, neighbor_index)
+        if port >= len(row) or row[port] != neighbor_index:
+            raise ConfigurationError(
+                f"nodes {self.label_of(index)} and "
+                f"{self.label_of(neighbor_index)} are not adjacent"
+            )
+        return port
+
+    def max_degree(self) -> int:
+        offsets = self._csr.offsets
+        if self._csr.n == 0:
+            return 0
+        return max(offsets[index + 1] - offsets[index]
+                   for index in range(self._csr.n))
+
+    # ------------------------------------------------------------------ #
+    # Flat routing tables (simulator fast path)
+    # ------------------------------------------------------------------ #
+    def neighbor_tables(self) -> List[memoryview]:
+        """Per-node neighbour tables as zero-copy slices of the flat array."""
+        csr = self._csr
+        return [csr.neighbor_row(index) for index in range(csr.n)]
+
+    def arrival_port_tables(self) -> List[memoryview]:
+        """Per-node arrival tables as zero-copy slices of the flat array."""
+        csr = self._csr
+        return [csr.arrival_row(index) for index in range(csr.n)]
+
+    def csr_tables(self) -> Tuple[Sequence[int], Sequence[int],
+                                  Sequence[int]]:
+        """The flat ``(offsets, neighbors, arrivals)`` arrays themselves."""
+        csr = self._csr
+        return (csr.offsets, csr.neighbors, csr.arrivals)
+
+
+def build_network(graph: Any) -> "Network | CSRNetwork":
+    """Build the right network view for *graph*.
+
+    CSR-backed graphs (:class:`CSRGraphView` / :class:`CSRGraph`) get the
+    zero-copy :class:`CSRNetwork`; anything networkx-like gets the
+    classic :class:`Network`.
+    """
+    if isinstance(graph, (CSRGraphView, CSRGraph)):
+        return CSRNetwork(graph)
+    return Network(graph)

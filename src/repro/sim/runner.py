@@ -59,7 +59,7 @@ from repro.sim.actions import Receive, WakeCall
 from repro.sim.context import NodeContext
 from repro.sim.message import estimate_bits
 from repro.sim.metrics import NodeMetrics, RunMetrics
-from repro.sim.network import Network
+from repro.sim.network import Network, build_network
 from repro.sim.trace import MessageEvent, Trace
 
 #: A protocol factory: called once per node with its context, returns the
@@ -226,8 +226,18 @@ class Simulator:
         ``max_message_bits`` reads ``None`` via ``bits_metered=False``).
         """
         network = self._network
-        neighbor_of = network.neighbor_tables()
-        arrival_port_of = network.arrival_port_tables()
+        csr = getattr(network, "csr_tables", lambda: None)()
+        if csr is None:
+            neighbor_of = network.neighbor_tables()
+            arrival_port_of = network.arrival_port_tables()
+            offsets = flat_neighbors = flat_arrivals = None
+        else:
+            # CSR fast path: route straight out of the flat arrays — no
+            # per-node table objects at all, which also means a network
+            # over a shared-memory segment is simulated without copying
+            # any part of the adjacency into the process.
+            offsets, flat_neighbors, flat_arrivals = csr
+            neighbor_of = arrival_port_of = None
         per_node = metrics.per_node
         max_awake = self._max_awake_per_node
         inboxes: List[List[Receive]] = [[] for _ in range(network.size)]
@@ -261,14 +271,25 @@ class Simulator:
                 sends = call.sends
                 if not sends:
                     continue
-                neighbors = neighbor_of[index]
-                arrivals = arrival_port_of[index]
-                for port, payload in sends:
-                    node_metrics.messages_sent += 1
-                    receiver = neighbors[port]
-                    if receiver in awake:
-                        inboxes[receiver].append((arrivals[port], payload))
-                        per_node[receiver].messages_received += 1
+                if offsets is not None:
+                    base = offsets[index]
+                    for port, payload in sends:
+                        node_metrics.messages_sent += 1
+                        receiver = flat_neighbors[base + port]
+                        if receiver in awake:
+                            inboxes[receiver].append(
+                                (flat_arrivals[base + port], payload))
+                            per_node[receiver].messages_received += 1
+                else:
+                    neighbors = neighbor_of[index]
+                    arrivals = arrival_port_of[index]
+                    for port, payload in sends:
+                        node_metrics.messages_sent += 1
+                        receiver = neighbors[port]
+                        if receiver in awake:
+                            inboxes[receiver].append(
+                                (arrivals[port], payload))
+                            per_node[receiver].messages_received += 1
 
             metrics.last_active_round = current_round
 
@@ -415,8 +436,13 @@ def run_protocol(
     trace: bool = False,
     max_active_rounds: int = 5_000_000,
 ) -> RunResult:
-    """Convenience wrapper: build the network and run *protocol* on *graph*."""
-    network = Network(graph)
+    """Convenience wrapper: build the network and run *protocol* on *graph*.
+
+    CSR-backed graphs (``repro.graphs.csr.CSRGraphView``) get the
+    zero-copy ``CSRNetwork``; networkx graphs get the classic
+    ``Network`` — the simulated bytes are identical either way.
+    """
+    network = build_network(graph)
     simulator = Simulator(
         network,
         seed=seed,

@@ -181,9 +181,11 @@ def spawn_socket_worker():
 
     spawned = []
 
-    def spawn(extra_env=None, slots=1, max_connections=None):
+    def spawn(extra_env=None, slots=1, max_connections=None,
+              slot_mode=None, start_method=None):
         process, address = spawn_local_worker(
-            extra_env, slots=slots, max_connections=max_connections)
+            extra_env, slots=slots, max_connections=max_connections,
+            slot_mode=slot_mode, start_method=start_method)
         spawned.append(process)
         return process, address
 

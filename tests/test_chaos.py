@@ -35,7 +35,7 @@ import pytest
 from repro.experiments.backends import ComposedBackend
 from repro.experiments.executor import plan_sweep_tasks
 from repro.experiments.sweeps import run_sweep
-from repro.experiments.transports import SocketTransport
+from repro.experiments.transports import WORKER_FAULT_DIR_ENV, SocketTransport
 from repro.experiments.worker import WORKER_EXEC_LOG_ENV
 
 pytestmark = pytest.mark.slow
@@ -69,7 +69,7 @@ def dense_serial_rows():
     return repr(sweep.rows()), repr(sweep.fits("awake_max"))
 
 
-def _spawn_logged_worker(tmp_path, slots=2):
+def _spawn_logged_worker(tmp_path, slots=2, extra_env=None):
     """Spawn a 2-slot worker with stderr → ``worker.log`` and an armed
     execution log.
 
@@ -82,6 +82,7 @@ def _spawn_logged_worker(tmp_path, slots=2):
     exec_log = tmp_path / "exec.log"
     env = os.environ.copy()
     env[WORKER_EXEC_LOG_ENV] = str(exec_log)
+    env.update(extra_env or {})
     with open(worker_log, "w", encoding="utf-8") as log:
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.experiments.worker",
@@ -117,6 +118,13 @@ def _export_artifacts(tmp_path, test_name):
         source = tmp_path / name
         if source.exists():
             shutil.copy(source, os.path.join(target, name))
+    # An `ls /dev/shm`-style listing: leaked repro-csr segments are the
+    # first thing to look for when a process-slot chaos test fails.
+    from repro.experiments.shm_cache import active_segments
+
+    with open(os.path.join(target, "shm-segments.txt"), "w",
+              encoding="utf-8") as listing:
+        listing.write("\n".join(active_segments()) + "\n")
 
 
 @pytest.fixture
@@ -252,3 +260,72 @@ class TestConnectionFlaps:
 
         assert telemetry["workers"][0]["reconnects"] >= 3
         assert _process.poll() is None
+
+
+class TestSlotProcessChaos:
+    """Fault injection against a process-backed slot (the exit-17 path).
+
+    With process slots the historical exit-17 fault kills the slot
+    *subprocess* mid-task instead of a connection or the whole worker:
+    the serving process must log the slot death, keep serving, keep
+    every shared graph segment it owns, and still produce serial bytes.
+    """
+
+    def test_exit_17_kills_one_slot_subprocess_not_the_worker(
+            self, tmp_path, request, serial_rows):
+        from repro.experiments.shm_cache import (SEGMENT_PREFIX,
+                                                 active_segments)
+
+        max_attempts = 5
+        victim = plan_sweep_tasks(**GRID)[5]
+        marker = tmp_path / f"crash-run_seed-{victim.run_seed}"
+        marker.write_text("")
+        process, address, exec_log, worker_log = _spawn_logged_worker(
+            tmp_path, extra_env={WORKER_FAULT_DIR_ENV: str(tmp_path)})
+
+        def worker_segments():
+            return [name for name in active_segments()
+                    if name.startswith(f"{SEGMENT_PREFIX}-{process.pid}-")]
+
+        try:
+            backend = ComposedBackend(
+                transport=SocketTransport(f"{address}*2"),
+                jobs=2, max_attempts=max_attempts)
+            sweep = run_sweep(**GRID, jobs=2, backend=backend)
+
+            telemetry = backend.telemetry()
+            (tmp_path / "telemetry.json").write_text(
+                json.dumps(telemetry, indent=2), encoding="utf-8")
+
+            # Byte identity survives losing a slot subprocess mid-task.
+            assert (repr(sweep.rows()),
+                    repr(sweep.fits("awake_max"))) == serial_rows
+            assert not marker.exists()  # the fault actually fired
+            assert process.poll() is None  # the serving process survived
+            assert backend.worker_restarts >= 1
+
+            # The serving process saw a *slot* death, not a mere
+            # disconnect: its log names the exit code and carries on.
+            log_text = worker_log.read_text(encoding="utf-8")
+            assert "exit 17" in log_text
+            assert "worker continues" in log_text
+
+            # Bounded amplification, counted across both slot processes
+            # (the execution log is append-shared between them).
+            counts = _execution_counts(exec_log)
+            planned = {task.run_seed for task in plan_sweep_tasks(**GRID)}
+            assert set(counts) == planned
+            assert all(1 <= count <= max_attempts
+                       for count in counts.values())
+
+            # The dead slot leaked nothing: its mapped segments are owned
+            # by the (alive) serving process, which still holds them.
+            assert worker_segments()
+        finally:
+            if process.poll() is None:
+                process.terminate()
+            process.wait(timeout=10)
+            _export_artifacts(tmp_path, request.node.name)
+
+        # ... and the serving process's shutdown unlinked every one.
+        assert worker_segments() == []

@@ -391,3 +391,104 @@ class TestSweepStructure:
         result = run_mis(by_name("gnp", 16, seed=1), algorithm="luby", seed=2)
         assert isinstance(result.metrics, RunMetrics)
         assert len(result.metrics.per_node) == 16
+
+
+class TestGraphCacheConfiguration:
+    """REPRO_GRAPH_CACHE sizing and the telemetry counters.
+
+    The graph cache used to be a hard-coded ``lru_cache(maxsize=32)``;
+    it is now env-sized (re-read on every ``cache_clear``) and its
+    hit/miss/eviction counters flow into backend telemetry.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_cache(self):
+        from repro.experiments.executor import _build_graph
+
+        _build_graph.cache_clear()
+        yield
+        _build_graph.cache_clear()
+
+    def test_env_resizes_the_cache_on_clear(self, monkeypatch):
+        from repro.experiments.executor import GRAPH_CACHE_ENV, _build_graph
+
+        monkeypatch.setenv(GRAPH_CACHE_ENV, "2")
+        _build_graph.cache_clear()
+        assert _build_graph.cache_info().maxsize == 2
+        for graph_seed in range(3):
+            _build_graph("path", 8, graph_seed)
+        info = _build_graph.cache_info()
+        assert info.currsize == 2  # the third build evicted the first
+        assert _build_graph.stats()["evictions"] == 1
+
+    def test_eviction_counter_counts_only_evictions(self):
+        from repro.experiments.executor import _build_graph
+
+        _build_graph("path", 8, 0)
+        _build_graph("path", 8, 0)
+        stats = _build_graph.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+
+    def test_zero_disables_caching(self, monkeypatch):
+        from repro.experiments.executor import GRAPH_CACHE_ENV, _build_graph
+
+        monkeypatch.setenv(GRAPH_CACHE_ENV, "0")
+        _build_graph.cache_clear()
+        first = _build_graph("path", 8, 0)
+        second = _build_graph("path", 8, 0)
+        assert first is not second  # nothing was retained
+        stats = _build_graph.stats()
+        assert stats["misses"] == 2
+        assert stats["currsize"] == 0
+
+    def test_invalid_env_value_warns_and_uses_default(self, monkeypatch,
+                                                      capsys):
+        from repro.experiments.executor import (GRAPH_CACHE_ENV,
+                                                _GRAPH_CACHE_DEFAULT,
+                                                _build_graph)
+
+        monkeypatch.setenv(GRAPH_CACHE_ENV, "many")
+        _build_graph.cache_clear()
+        assert _build_graph.cache_info().maxsize == _GRAPH_CACHE_DEFAULT
+        assert GRAPH_CACHE_ENV in capsys.readouterr().err
+
+    def test_counters_reach_backend_telemetry(self):
+        from repro.experiments.backends import SerialBackend
+        from repro.experiments.sweeps import run_sweep
+
+        backend = SerialBackend()
+        run_sweep(["luby", "vt_mis"], [16], repetitions=1, seed=5,
+                  backend=backend)
+        cache = backend.telemetry()["graph_cache"]
+        # Both algorithms share the repetition's graph seed: one build,
+        # one hit — captured before teardown cleared the cache.
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+        assert cache["evictions"] == 0
+
+    def test_shared_source_hook_counts_as_shared_hit(self):
+        from repro.experiments.executor import (_build_graph,
+                                                set_shared_graph_source)
+        from repro.graphs import generators
+
+        fetched = []
+
+        def source(family, n, graph_seed):
+            fetched.append((family, n, graph_seed))
+            return generators.to_csr(
+                generators.by_name(family, n, seed=graph_seed)).view()
+
+        set_shared_graph_source(source)
+        try:
+            first = _build_graph("path", 8, 1)
+            second = _build_graph("path", 8, 1)  # now cached locally
+        finally:
+            set_shared_graph_source(None)
+        assert fetched == [("path", 8, 1)]
+        assert second is first
+        stats = _build_graph.stats()
+        assert stats["shared_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1

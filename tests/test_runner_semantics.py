@@ -261,3 +261,52 @@ class TestPathEquivalence:
         compact = result.metrics.compact()
         assert isinstance(compact, CompactRunMetrics)
         assert compact.summary() == result.metrics.summary()
+
+
+class TestCSRPathEquivalence:
+    """The CSR fast path must change *speed*, never bytes.
+
+    ``run_protocol`` over a CSR-backed graph routes sends straight out
+    of the flat ``(offsets, neighbors, arrivals)`` arrays in the fast
+    loop; the metered loop and the adjacency-list representation are the
+    oracles it must agree with, count for count.
+    """
+
+    @pytest.mark.parametrize("algorithm_seed", [3, 4])
+    def test_csr_fast_and_metered_loops_agree_on_counts(
+            self, algorithm_seed):
+        from repro.algorithms.luby import luby_protocol
+
+        csr = generators.to_csr(
+            generators.gnp_graph(48, expected_degree=6, seed=2)).view()
+        inputs = {"max_iterations": 4096}
+        fast = run_protocol(csr, luby_protocol, inputs=inputs,
+                            seed=algorithm_seed)
+        metered = run_protocol(csr, luby_protocol, inputs=inputs,
+                               seed=algorithm_seed, trace=True,
+                               message_bit_limit=10_000)
+
+        assert {k: bool(v) for k, v in fast.outputs.items()} == \
+               {k: bool(v) for k, v in metered.outputs.items()}
+        assert fast.awake_by_label == metered.awake_by_label
+        fast_summary = fast.metrics.summary()
+        metered_summary = metered.metrics.summary()
+        fast_summary.pop("max_message_bits")
+        metered_summary.pop("max_message_bits")
+        assert fast_summary == metered_summary
+
+    def test_csr_representation_matches_adjacency_lists(self, sim_config):
+        """Same seed, both loops: CSR arrays and networkx adjacency must
+        produce identical outputs, wake schedules and metric counters."""
+        from repro.algorithms.luby import luby_protocol
+
+        graph = generators.gnp_graph(40, expected_degree=5, seed=12)
+        inputs = {"max_iterations": 4096}
+        over_nx = run_protocol(graph, luby_protocol, inputs=inputs,
+                               seed=11, **sim_config)
+        over_csr = run_protocol(generators.to_csr(graph).view(),
+                                luby_protocol, inputs=inputs,
+                                seed=11, **sim_config)
+        assert over_csr.outputs == over_nx.outputs
+        assert over_csr.awake_by_label == over_nx.awake_by_label
+        assert over_csr.metrics.summary() == over_nx.metrics.summary()

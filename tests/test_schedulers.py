@@ -260,3 +260,66 @@ class TestResolveScheduler:
     def test_invalid_max_attempts_rejected(self):
         with pytest.raises(ConfigurationError, match="max_attempts"):
             FifoScheduler(max_attempts=0)
+
+
+class TestCostModelParams:
+    """Density overrides in ``task.params`` must reach the cost model.
+
+    Regression: ``estimate_task_cost`` used to ignore ``task.params``
+    entirely, so a params-overridden grid (``p=0.5`` on gnp, say) was
+    costed at the family *default* density and misranked.
+    """
+
+    def test_p_override_outranks_a_larger_default_task(self):
+        """gnp n=50 at p=0.5 has ~12x the default edge density; it must
+        outrank gnp n=100 at the default expected degree — the exact
+        ordering the unfixed model got backwards."""
+        default_large = _task(family="gnp", n=100)
+        dense_small = SweepTask(algorithm="luby", family="gnp", n=50,
+                                graph_seed=1, run_seed=2,
+                                params=(("p", 0.5),))
+        assert estimate_task_cost(dense_small) > \
+            estimate_task_cost(default_large)
+        # Strip the params and the ranking flips back: the override, not
+        # anything else about the task, is what carries the cost.
+        stripped = SweepTask(algorithm="luby", family="gnp", n=50,
+                             graph_seed=1, run_seed=2)
+        assert estimate_task_cost(stripped) < \
+            estimate_task_cost(default_large)
+
+    def test_scheduler_order_honours_the_override(self):
+        default_large = _task(family="gnp", n=100)
+        dense_small = SweepTask(algorithm="luby", family="gnp", n=50,
+                                graph_seed=1, run_seed=2,
+                                params=(("p", 0.5),))
+        order = CostModelScheduler().order([default_large, dense_small])
+        assert order == [1, 0]  # dense-override first despite smaller n
+        # Large-first (and the unfixed cost model) would dispatch [0, 1].
+        assert LargeFirstScheduler().order(
+            [default_large, dense_small]) == [0, 1]
+
+    def test_expected_degree_override_is_honoured(self):
+        sparse = SweepTask(algorithm="luby", family="gnp_dense", n=64,
+                           graph_seed=1, run_seed=2,
+                           params=(("expected_degree", 2.0),))
+        assert estimate_task_cost(sparse) < \
+            estimate_task_cost(_task(family="gnp_dense", n=64))
+
+    @pytest.mark.parametrize("family,params,direction", [
+        ("regular", (("degree", 12),), "up"),
+        ("powerlaw", (("attachments", 8),), "up"),
+        ("caveman", (("clique_size", 4),), "down"),
+    ])
+    def test_structural_params_shift_their_family_cost(self, family,
+                                                       params, direction):
+        base = estimate_task_cost(_task(family=family, n=64))
+        overridden = estimate_task_cost(SweepTask(
+            algorithm="luby", family=family, n=64, graph_seed=1,
+            run_seed=2, params=params))
+        assert (overridden > base) == (direction == "up")
+
+    def test_garbage_params_degrade_to_unknown_not_a_crash(self):
+        garbage = SweepTask(algorithm="luby", family="gnp", n=64,
+                            graph_seed=1, run_seed=2,
+                            params=(("p", "dense-ish"),))
+        assert estimate_task_cost(garbage) is None

@@ -129,11 +129,15 @@ class TestRttEstimator:
         snap = est.snapshot()
         assert snap["samples"] == 0
         assert snap["min_rtt_ms"] is None and snap["max_rtt_ms"] is None
+        assert snap["primed"] is False
         est.observe(0.0125)
         snap = est.snapshot()
         assert snap == {"samples": 1, "srtt_ms": 12.5, "rttvar_ms": 6.25,
                         "rto_ms": 37.5, "min_rtt_ms": 12.5,
-                        "max_rtt_ms": 12.5}
+                        "max_rtt_ms": 12.5, "primed": False}
+        for _ in range(RTT_PRIME_SAMPLES - 1):
+            est.observe(0.0125)
+        assert est.snapshot()["primed"] is True
 
 
 class TestConnectionStats:
@@ -162,9 +166,9 @@ class TestConnectionStats:
         a0 = ConnectionStats("worker-a", 0)
         a1 = ConnectionStats("worker-a", 1)
         b0 = ConnectionStats("worker-b", 0)
-        for _ in range(3):
+        for _ in range(RTT_PRIME_SAMPLES):  # both connections primed
             a0.note_ack(0.010, slow=False)
-        a1.note_ack(0.100, slow=False)
+            a1.note_ack(0.100, slow=False)
         a0.note_send(2, 200)
         a1.note_send(1, 50)
         a0.note_window(8)
@@ -177,11 +181,12 @@ class TestConnectionStats:
         assert worker_a["frames_sent"] == 2
         assert worker_a["tasks_sent"] == 3
         assert worker_a["bytes_sent"] == 250
-        assert worker_a["acks"] == 4
+        assert worker_a["acks"] == 2 * RTT_PRIME_SAMPLES
         assert worker_a["peak_window"] == 8
-        assert worker_a["rtt_samples"] == 4
-        # Sample-weighted mean: 3 samples at srtt 10ms, 1 at 100ms.
-        assert worker_a["srtt_ms"] == pytest.approx((3 * 10 + 1 * 100) / 4,
+        assert worker_a["rtt_samples"] == 2 * RTT_PRIME_SAMPLES
+        # Sample-weighted mean over the two primed estimators: equal
+        # sample counts at srtt 10ms and 100ms.
+        assert worker_a["srtt_ms"] == pytest.approx((10 + 100) / 2,
                                                     abs=0.01)
         # An ack-less worker reports no RTT rather than a fake zero.
         assert worker_b["rtt_samples"] == 0
@@ -240,3 +245,73 @@ class TestEndToEndTelemetry:
         assert telemetry["workers"] == []
         text = format_telemetry(telemetry)
         assert "no framed connections" in text
+
+
+class TestPrimedWeighting:
+    """Only primed estimators enter the worker RTT mean — and a genuine
+    0.0 ms srtt is a measurement, not a missing value.
+
+    Regression: aggregation used ``snap.get("srtt_ms") or 0.0``, which
+    treated a legitimate zero srtt (loopback acks under the clock's
+    resolution) as absent, and let a single-sample estimator's noisy
+    srtt weigh into the mean alongside converged ones.
+    """
+
+    def _primed_zero(self, worker="w", slot=0):
+        stats = ConnectionStats(worker, slot)
+        for _ in range(RTT_PRIME_SAMPLES):
+            stats.note_ack(0.0, slow=False)
+        return stats
+
+    def test_primed_zero_srtt_reports_zero_not_none(self):
+        (row,) = aggregate_by_worker([self._primed_zero().snapshot()])
+        assert row["srtt_ms"] == 0.0
+        assert row["rttvar_ms"] == 0.0
+
+    def test_unprimed_estimator_is_excluded_from_the_mean(self):
+        noisy = ConnectionStats("w", 0)
+        noisy.note_ack(5.0, slow=False)  # one wild 5000ms sample
+        converged = ConnectionStats("w", 1)
+        for _ in range(RTT_PRIME_SAMPLES):
+            converged.note_ack(0.010, slow=False)
+        (row,) = aggregate_by_worker([noisy.snapshot(),
+                                      converged.snapshot()])
+        # The unprimed outlier contributes samples to the count but not
+        # to the mean: only the converged estimator weighs in.
+        assert row["rtt_samples"] == RTT_PRIME_SAMPLES + 1
+        assert row["srtt_ms"] == pytest.approx(10.0, abs=0.01)
+
+    def test_all_unprimed_means_no_rtt_not_a_fabricated_one(self):
+        stats = ConnectionStats("w", 0)
+        stats.note_ack(0.010, slow=False)
+        (row,) = aggregate_by_worker([stats.snapshot()])
+        assert row["srtt_ms"] is None and row["rttvar_ms"] is None
+
+    def test_legacy_snapshots_fall_back_to_the_sample_count(self):
+        """Snapshots from an older worker lack ``primed``; priming is
+        then inferred from the sample count so mixed fleets aggregate."""
+        snap = self._primed_zero().snapshot()
+        del snap["primed"]
+        (row,) = aggregate_by_worker([snap])
+        assert row["srtt_ms"] == 0.0
+
+
+class TestWorkerPids:
+    def test_note_peer_collects_distinct_pids_sorted(self):
+        a0 = ConnectionStats("w", 0)
+        a1 = ConnectionStats("w", 1)
+        a0.note_peer(4002)
+        a1.note_peer(4001)
+        (row,) = aggregate_by_worker([a0.snapshot(), a1.snapshot()])
+        assert row["worker_pids"] == [4001, 4002]
+
+    def test_duplicate_and_missing_pids_collapse(self):
+        a0 = ConnectionStats("w", 0)
+        a1 = ConnectionStats("w", 1)
+        a2 = ConnectionStats("w", 2)
+        a0.note_peer(4001)
+        a1.note_peer(4001)  # same slot process served both connections
+        a2.note_peer(None)  # a hello without a pid stays absent
+        (row,) = aggregate_by_worker([a0.snapshot(), a1.snapshot(),
+                                      a2.snapshot()])
+        assert row["worker_pids"] == [4001]
