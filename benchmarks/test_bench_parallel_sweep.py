@@ -169,6 +169,38 @@ def test_bench_backend_matrix(repro_scale, bench_record):
             workers_block = backend.telemetry().get("workers")
             if workers_block:
                 telemetry[label] = workers_block
+
+        # Round-engine rows: the same luby tasks unmetered (CONGEST off),
+        # once pinned to the generator fast loop and once on the numpy
+        # vectorized engine.  Unmetered rows record max_message_bits=None
+        # where the metered reference records a measurement, so the two
+        # engine sweeps are byte-compared against *each other*, not
+        # against the metered matrix above.  At matrix sizes the numpy
+        # engine's fixed per-run cost can outweigh its per-round win —
+        # the asserted ≥5× speedup lives at n≈20k in
+        # test_bench_vectorized_rounds.py; these rows just track the
+        # small-n regime per PR.
+        engine_grid = dict(grid, algorithms=["luby"])
+        engine_task_count = len(plan_sweep_tasks(**engine_grid))
+        engine_sweeps = {}
+        for engine, pinned in (("generator-loop", False),
+                               ("vectorized", True)):
+            params = {"luby": {"enforce_congest": False,
+                               "vectorized": pinned}}
+            started = time.perf_counter()
+            engine_sweeps[engine] = run_sweep(**engine_grid,
+                                              algorithm_params=params)
+            seconds = time.perf_counter() - started
+            rate = engine_task_count / max(seconds, 1e-9)
+            label = f"unmetered-luby+{engine}"
+            rows.append({"scheduler": "serial", "transport": label,
+                         "jobs": 1, "seconds": round(seconds, 3),
+                         "tasks_per_s": round(rate, 2)})
+            numbers[f"{label}_seconds"] = round(seconds, 4)
+            numbers[f"{label}_tasks_per_second"] = round(rate, 3)
+        assert (repr(engine_sweeps["vectorized"].rows())
+                == repr(engine_sweeps["generator-loop"].rows()))
+        assert engine_sweeps["vectorized"].all_verified
     finally:
         for proc, _ in list(workers) + list(slot_workers.values()):
             proc.kill()

@@ -87,3 +87,75 @@ def luby_protocol(ctx: NodeContext):
         f"Luby did not terminate within {max_iterations} iterations "
         "(this indicates a bug or an absurdly small max_iterations)"
     )
+
+
+def luby_vectorized(run):
+    """Whole-round numpy twin of :func:`luby_protocol`.
+
+    Byte-identity with the generator above is a hard contract (pinned by
+    ``tests/test_vectorized.py``): one ``randrange`` per undecided node per
+    iteration in ascending index order, the same message counts (round 1
+    sends on every port, round 2 only winners send, a message is received
+    only by awake — i.e. undecided — neighbours), the same termination
+    rounds, the same :class:`MISDecision` payloads, and the same
+    ``RuntimeError`` when ``max_iterations`` runs out.
+    """
+    np = run.np
+    max_iterations = run.inputs.get("max_iterations", 4096)
+    undecided = np.ones(run.n, dtype=bool)
+    labels = run.labels
+    draw = [rng.randrange for rng in run.rngs]
+    # Decided nodes read as +inf in the priority array so a strict local
+    # minimum among *undecided* neighbours is just a strict minimum over
+    # all neighbours (any real priority is < INF, and empty rows win).
+    INF = np.int64(1) << 62
+
+    for iteration in range(max_iterations):
+        idx = np.flatnonzero(undecided)
+        if idx.size == 0:
+            return
+        base = ROUNDS_PER_ITERATION * iteration
+
+        priorities = np.full(run.n, INF, dtype=np.int64)
+        priorities[idx] = [draw[i](PRIORITY_SPACE) for i in idx.tolist()]
+
+        # Round 1: every undecided node is awake, sends its priority on
+        # every port, and receives one message per undecided neighbour.
+        run.begin_round(base)
+        run.record_awake(idx)
+        run.messages_sent[idx] += run.degrees[idx]
+        run.messages_received[idx] += run.row_count(undecided)[idx]
+        winners = undecided & (priorities < run.row_min(priorities, empty=INF))
+
+        # Round 2: winners announce on every port; every undecided node is
+        # awake and hears one message per winning neighbour (0 for winners
+        # themselves — no two adjacent strict local minima exist).
+        run.begin_round(base + 1)
+        run.record_awake(idx)
+        run.messages_sent[winners] += run.degrees[winners]
+        winning = run.row_count(winners)
+        run.messages_received[idx] += winning[idx]
+
+        losers = undecided & ~winners & (winning > 0)
+        decided_idx = np.flatnonzero(winners | losers)
+        if decided_idx.size:
+            run.terminated_round[decided_idx] = base + 1
+            outputs = run.outputs
+            for i, won in zip(decided_idx.tolist(),
+                              winners[decided_idx].tolist()):
+                outputs[labels[i]] = MISDecision(
+                    in_mis=won,
+                    decided_round=base + 1,
+                    detail={"iterations": iteration + 1},
+                )
+            undecided[decided_idx] = False
+
+    raise RuntimeError(
+        f"Luby did not terminate within {max_iterations} iterations "
+        "(this indicates a bug or an absurdly small max_iterations)"
+    )
+
+
+#: Opt the generator protocol into the vectorized engine (see
+#: ``repro.sim.vectorized``); the simulator discovers this attribute.
+luby_protocol.vectorized_engine = luby_vectorized

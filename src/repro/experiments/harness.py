@@ -185,6 +185,7 @@ def _run_luby(graph: nx.Graph, seed: SeedLike, **params) -> RunResult:
         seed=seed,
         message_bit_limit=params.get("message_bit_limit"),
         trace=params.get("trace", False),
+        vectorized=params.get("vectorized"),
     )
 
 
@@ -283,7 +284,12 @@ def run_mis(
         maximality; the result records the outcome in ``verified``.
     enforce_congest:
         When True (default) the simulator enforces the CONGEST message-size
-        budget of :func:`default_message_bit_limit`.
+        budget of :func:`default_message_bit_limit`.  Passing False lifts
+        the bit limit, which also unlocks the simulator's fast engines —
+        including the numpy whole-round engine for algorithms that opt in
+        (``luby``; select with the ``vectorized`` parameter, tri-state as
+        in :func:`repro.sim.runner.run_protocol`).  Engine choice never
+        changes outputs or awake/round/message counts, only wall-clock.
     keep_raw:
         When True the full :class:`repro.sim.runner.RunResult` (including the
         per-node outputs) is attached as ``raw``.

@@ -37,6 +37,11 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 
+try:  # optional: every numpy path below has a pure-Python fallback
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _numpy = None
+
 #: First header word of every serialised CSR buffer ("CSRG"); attaching a
 #: shared-memory segment that does not start with it fails loudly instead
 #: of mis-slicing garbage.
@@ -53,6 +58,35 @@ def _as_words(buffer: Any) -> memoryview:
     if view.format != _WORD_FORMAT or view.itemsize != WORD_BYTES:
         view = view.cast("B").cast(_WORD_FORMAT)
     return view
+
+
+def _np_int64_view(words: memoryview, writable: bool = False):
+    """Zero-copy int64 numpy view over a word memoryview.
+
+    ``np.frombuffer`` needs a byte-format view, so we cast through ``"B"``;
+    the cast preserves the underlying address, never copies.  Read-only
+    views are marked unwriteable so a caller cannot mutate a shared CSR
+    buffer through them by accident.
+    """
+    np = _numpy
+    if len(words) == 0:
+        return np.empty(0, dtype=np.int64)
+    view = memoryview(words)
+    array_view = np.frombuffer(view.cast("B"), dtype=np.int64)
+    if not writable:
+        array_view = array_view.view()
+        array_view.flags.writeable = False
+    return array_view
+
+
+def _np_as_word_view(np_array) -> memoryview:
+    """Expose an int64 numpy array as a ``"q"``-format memoryview.
+
+    numpy int64 buffers report platform format ``"l"`` on LP64, which
+    breaks format-checked memoryview slice assignment against
+    ``array("q")`` storage — casting through ``"B"`` normalises it.
+    """
+    return memoryview(np_array).cast("B").cast(_WORD_FORMAT)
 
 
 class CSRGraph:
@@ -105,6 +139,9 @@ class CSRGraph:
                     f"CSR graphs reject self-loops (node {label!r})")
             adjacency.append(row)
 
+        if _numpy is not None:
+            return cls._from_adjacency_numpy(n, adjacency, label_list)
+
         offsets = array(_WORD_FORMAT, [0]) * (n + 1)
         for index, row in enumerate(adjacency):
             offsets[index + 1] = offsets[index] + len(row)
@@ -121,6 +158,39 @@ class CSRGraph:
         return cls(n, directed_m // 2, memoryview(offsets),
                    memoryview(neighbors), memoryview(arrivals),
                    memoryview(labels))
+
+    @classmethod
+    def _from_adjacency_numpy(cls, n: int, adjacency: List[List[int]],
+                              label_list: List[int]) -> "CSRGraph":
+        """Array-at-a-time twin of the pure-Python ``from_graph`` tail.
+
+        Offsets come from one cumsum; the arrival-port table — the port on
+        which each directed edge ``u -> v`` is received, i.e. the rank of
+        ``u`` within ``adjacency[v]`` — comes from one lexsort: sorting
+        edge ids by ``(dst, src)`` groups each destination's in-edges into
+        its CSR block in source order, so an edge's arrival port is its
+        sorted position minus its destination's block start.  Produces the
+        exact arrays the bisect loop above does (pinned by tests).
+        """
+        np = _numpy
+        degrees = np.fromiter((len(row) for row in adjacency),
+                              dtype=np.int64, count=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        directed_m = int(offsets[-1]) if n else 0
+        neighbors = np.fromiter(
+            (neighbor for row in adjacency for neighbor in row),
+            dtype=np.int64, count=directed_m)
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        position = np.empty(directed_m, dtype=np.int64)
+        position[np.lexsort((src, neighbors))] = np.arange(
+            directed_m, dtype=np.int64)
+        arrivals = position - offsets[neighbors]
+        labels = np.fromiter(label_list, dtype=np.int64, count=n)
+        return cls(n, directed_m // 2, _np_as_word_view(offsets),
+                   _np_as_word_view(neighbors), _np_as_word_view(arrivals),
+                   _np_as_word_view(labels),
+                   owner=(offsets, neighbors, arrivals, labels))
 
     @classmethod
     def from_buffer(cls, buffer: Any, owner: Any = None) -> "CSRGraph":
@@ -170,6 +240,16 @@ class CSRGraph:
         words[1] = self.n
         words[2] = self.m
         cursor = HEADER_WORDS
+        if _numpy is not None:
+            # One flat int64 destination view; each segment lands as a
+            # single vectorised copy instead of a word-format slice assign.
+            destination = _np_int64_view(words, writable=True)
+            for segment in (self.offsets, self.neighbors, self.arrivals,
+                            self.labels):
+                length = len(segment)
+                destination[cursor:cursor + length] = _np_int64_view(segment)
+                cursor += length
+            return
         for segment in (self.offsets, self.neighbors, self.arrivals,
                         self.labels):
             words[cursor:cursor + len(segment)] = segment
@@ -181,6 +261,22 @@ class CSRGraph:
         return bytes(buffer)
 
     # -- accessors ------------------------------------------------------
+
+    def as_arrays(self):
+        """Zero-copy read-only numpy views ``(offsets, neighbors, arrivals,
+        labels)`` over the CSR buffers.
+
+        Works for any backing storage — ``array`` module storage, numpy
+        owners, and ``SharedMemory`` mappings alike — because the views are
+        built with ``np.frombuffer`` over the existing memoryviews; nothing
+        is copied.  Raises :class:`ConfigurationError` when numpy is not
+        installed (every consumer gates on availability first).
+        """
+        if _numpy is None:  # pragma: no cover - numpy-less hosts
+            raise ConfigurationError(
+                "CSRGraph.as_arrays() requires numpy")
+        return (_np_int64_view(self.offsets), _np_int64_view(self.neighbors),
+                _np_int64_view(self.arrivals), _np_int64_view(self.labels))
 
     def degree(self, index: int) -> int:
         return self.offsets[index + 1] - self.offsets[index]

@@ -51,6 +51,56 @@ def spawn_rng(master: SeedLike, index: int) -> random.Random:
     return random.Random(derive_seed(master, index))
 
 
+def spawn_rngs(master: SeedLike, count: int) -> list:
+    """Spawn *count* generators for indices ``0..count-1`` under *master*.
+
+    Bit-for-bit identical to ``[spawn_rng(master, i) for i in range(count)]``
+    — the batched path below only rearranges the seed arithmetic — but much
+    faster for integer masters, because the derived seeds are computed as
+    one numpy array operation and the generators are seeded through the C
+    layer directly.  ``Random`` and ``None`` masters draw a fresh base per
+    index, so they keep the per-index loop.
+    """
+    if not isinstance(master, int):
+        return [spawn_rng(master, index) for index in range(count)]
+    base = int(master) * _DERIVE_PRIME
+    golden = 0x9E3779B9
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy-less hosts
+        np = None
+    if np is None or count < 1024:
+        return [
+            random.Random((base + golden * (index + 1)) % (2**63))
+            for index in range(count)
+        ]
+    # (x % 2**63) == (x mod 2**64) & (2**63 - 1): uint64 wraparound
+    # arithmetic followed by a mask reproduces derive_seed exactly.
+    seeds = (
+        np.uint64(base % 2**64)
+        + np.uint64(golden) * np.arange(1, count + 1, dtype=np.uint64)
+    ) & np.uint64(2**63 - 1)
+    try:
+        import _random
+    except ImportError:  # pragma: no cover - non-CPython runtimes
+        return list(map(random.Random, seeds.tolist()))
+    # random.Random(s) is __new__ + the pure-Python seed() wrapper, which
+    # only version-checks, calls the C seed, and resets gauss_next — doing
+    # those three steps directly halves construction time at 20k+ nodes.
+    # Equivalence (getstate() included) is pinned by tests/test_rng.py.
+    new = random.Random.__new__
+    cls = random.Random
+    c_seed = _random.Random.seed
+    rngs = []
+    append = rngs.append
+    for value in seeds.tolist():
+        rng = new(cls)
+        c_seed(rng, value)
+        rng.gauss_next = None
+        append(rng)
+    return rngs
+
+
 def random_unique_ids(
     count: int, id_space: int, rng: Optional[random.Random] = None
 ) -> list:

@@ -226,11 +226,15 @@ class CSRNetwork:
         return port
 
     def max_degree(self) -> int:
-        offsets = self._csr.offsets
         if self._csr.n == 0:
             return 0
-        return max(offsets[index + 1] - offsets[index]
-                   for index in range(self._csr.n))
+        try:
+            offsets, _, _, _ = self._csr.as_arrays()
+        except ConfigurationError:  # pragma: no cover - numpy-less hosts
+            offsets = self._csr.offsets
+            return max(offsets[index + 1] - offsets[index]
+                       for index in range(self._csr.n))
+        return int((offsets[1:] - offsets[:-1]).max())
 
     # ------------------------------------------------------------------ #
     # Flat routing tables (simulator fast path)

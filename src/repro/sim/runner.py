@@ -19,23 +19,41 @@ Round semantics (paper Section 1.3):
 4. awake nodes then receive their inbox (the generator is resumed with it)
    and either terminate or schedule their next awake round.
 
-Fast path
----------
+Engines
+-------
 
-The driver has two interchangeable round loops.  The *metered* loop handles
-tracing and CONGEST bit accounting; the *fast* loop runs whenever neither is
-requested (``trace=False`` and ``message_bit_limit=None``), i.e. for direct
-:func:`run_protocol` / algorithm-level calls that leave the bit budget off —
-note that :func:`repro.experiments.harness.run_mis` enforces CONGEST by
-default, so sweeps stay on the metered loop unless
-``enforce_congest=False``.  The fast loop routes messages through
-flat neighbour/arrival-port arrays precomputed from the
-:class:`~repro.sim.network.Network`, skips
-:func:`~repro.sim.message.estimate_bits` entirely (the aggregate
-``max_message_bits`` then reads ``None`` — "not measured" — and per-node
-bit counters stay 0; awake, round and message *counts* are identical
-between the two loops), and reuses one delivery buffer per node across
-rounds.
+The driver has three interchangeable round engines; all of them produce
+identical outputs and awake/round/message counts, so an engine can only
+ever change wall-clock time, never bytes:
+
+1. The **metered loop** (:meth:`Simulator._drive_metered`) handles tracing
+   and CONGEST bit accounting.  It runs whenever ``trace=True`` or a
+   ``message_bit_limit`` is set — note that
+   :func:`repro.experiments.harness.run_mis` enforces CONGEST by default,
+   so sweeps stay on this loop unless ``enforce_congest=False``.
+2. The **generator fast loop** (:meth:`Simulator._drive_fast`) runs
+   whenever neither is requested (``trace=False`` and
+   ``message_bit_limit=None``).  It routes messages through flat
+   neighbour/arrival-port arrays precomputed from the
+   :class:`~repro.sim.network.Network` (straight out of the flat CSR
+   arrays for CSR-backed graphs), skips
+   :func:`~repro.sim.message.estimate_bits` entirely (the aggregate
+   ``max_message_bits`` then reads ``None`` — "not measured" — and
+   per-node bit counters stay 0), and reuses one delivery buffer per node
+   across rounds.
+3. The **vectorized engine** (:mod:`repro.sim.vectorized`) computes whole
+   rounds as numpy array operations over the CSR arrays, for protocols
+   whose rounds are dense (every undecided node awake every iteration,
+   Luby-style).  A protocol opts in by exposing a ``vectorized_engine``
+   attribute on its factory (``luby`` does); the engine engages only
+   under the fast loop's gating (no trace, no bit limit) *and* when
+   numpy is importable, falling back to the generator fast loop
+   otherwise.  Priorities are drawn from the same per-node ``spawn_rng``
+   streams in the same per-node order, so the run is bit-for-bit
+   identical to the other engines (pinned by
+   ``tests/test_runner_semantics.py``).  Pass ``vectorized=False`` to
+   pin the generator loops, ``vectorized=True`` to require the engine
+   (a configuration that cannot use it then raises).
 
 Buffer-reuse contract: the inbox list a generator is resumed with is only
 valid until the node's next ``yield``; protocols must consume (or copy) it
@@ -50,6 +68,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.errors import (
+    ConfigurationError,
     MessageTooLargeError,
     ProtocolViolationError,
     SimulationError,
@@ -65,6 +84,33 @@ from repro.sim.trace import MessageEvent, Trace
 #: A protocol factory: called once per node with its context, returns the
 #: node's generator.
 ProtocolFactory = Callable[[NodeContext], Generator[WakeCall, List[Receive], Any]]
+
+
+# --------------------------------------------------------------------------- #
+# Safety-valve / coverage errors shared by all three round engines.  A
+# divergent message would break golden-log diffs across engines, so every
+# engine raises through these helpers.
+# --------------------------------------------------------------------------- #
+def livelocked_error(max_active_rounds: int) -> SimulationError:
+    """The livelock valve: too many active rounds elapsed."""
+    return SimulationError(
+        f"exceeded {max_active_rounds} active rounds; "
+        "protocol appears to be livelocked"
+    )
+
+
+def awake_budget_error(label: Any, max_awake_per_node: int) -> SimulationError:
+    """The per-node awake valve: one node stayed awake too long."""
+    return SimulationError(
+        f"node {label} exceeded {max_awake_per_node} awake rounds"
+    )
+
+
+def missing_outputs_error(missing: List[Any]) -> SimulationError:
+    """Some nodes never terminated (generator exhausted the round loop)."""
+    return SimulationError(
+        f"{len(missing)} node(s) never terminated: {missing[:5]}"
+    )
 
 
 @dataclass
@@ -113,6 +159,14 @@ class Simulator:
     trace:
         When True, record a :class:`~repro.sim.trace.Trace` of awake sets and
         message events.
+    vectorized:
+        Engine selection for protocols that expose a ``vectorized_engine``
+        hook: ``None`` (default) engages the numpy whole-round engine
+        whenever the fast-path gating holds (no trace, no bit limit) and
+        numpy is importable; ``False`` pins the generator loops; ``True``
+        requires the vectorized engine and raises
+        :class:`~repro.errors.ConfigurationError` when it cannot run.
+        Engine choice never changes outputs or counts.
     """
 
     def __init__(
@@ -123,6 +177,7 @@ class Simulator:
         max_active_rounds: int = 5_000_000,
         max_awake_per_node: int = 1_000_000,
         trace: bool = False,
+        vectorized: Optional[bool] = None,
     ) -> None:
         self._network = network
         self._seed = seed
@@ -130,6 +185,7 @@ class Simulator:
         self._max_active_rounds = max_active_rounds
         self._max_awake_per_node = max_awake_per_node
         self._trace_enabled = trace
+        self._vectorized = vectorized
 
     # ------------------------------------------------------------------ #
     def run(
@@ -148,6 +204,10 @@ class Simulator:
         n = network.size
         inputs = dict(inputs or {})
         local_inputs = dict(local_inputs or {})
+
+        engine = self._select_vectorized_engine(protocol)
+        if engine is not None:
+            return self._run_vectorized(engine, inputs, local_inputs)
 
         generators: List[Optional[Generator[WakeCall, List[Receive], Any]]] = []
         outputs: Dict[Any, Any] = {}
@@ -198,15 +258,63 @@ class Simulator:
             if network.label_of(index) not in outputs
         ]
         if missing:
-            raise SimulationError(
-                f"{len(missing)} node(s) never terminated: {missing[:5]}"
-            )
+            raise missing_outputs_error(missing)
         return RunResult(
             outputs=outputs,
             metrics=metrics,
             awake_by_label=awake_by_label,
             trace=trace,
         )
+
+    # ------------------------------------------------------------------ #
+    def _select_vectorized_engine(self, protocol: ProtocolFactory):
+        """Return the protocol's vectorized engine when it should engage.
+
+        The engine engages only when the protocol opts in (a
+        ``vectorized_engine`` hook on the factory), the fast-path gating
+        holds (no trace, no bit limit), numpy is importable, and the
+        caller did not pin ``vectorized=False``.  ``vectorized=True``
+        turns every reason *not* to engage into a
+        :class:`ConfigurationError` instead of a silent fallback.
+        """
+        if self._vectorized is False:
+            return None
+        hook = getattr(protocol, "vectorized_engine", None)
+        blocker = None
+        if hook is None:
+            blocker = "the protocol exposes no vectorized_engine hook"
+        elif self._trace_enabled:
+            blocker = "tracing is enabled"
+        elif self._message_bit_limit is not None:
+            blocker = "a message bit limit is set (CONGEST metering)"
+        else:
+            from repro.sim.vectorized import numpy_or_none
+
+            if numpy_or_none() is None:
+                blocker = "numpy is not installed"
+        if blocker is None:
+            return hook
+        if self._vectorized is True:
+            raise ConfigurationError(
+                f"vectorized=True but the vectorized engine cannot run: "
+                f"{blocker}"
+            )
+        return None
+
+    def _run_vectorized(self, engine, inputs, local_inputs) -> RunResult:
+        """Drive *engine* over a :class:`~repro.sim.vectorized.VectorizedRun`."""
+        from repro.sim.vectorized import VectorizedRun
+
+        state = VectorizedRun(
+            self._network,
+            seed=self._seed,
+            inputs=inputs,
+            local_inputs=local_inputs,
+            max_active_rounds=self._max_active_rounds,
+            max_awake_per_node=self._max_awake_per_node,
+        )
+        engine(state)
+        return state.to_result()
 
     # ------------------------------------------------------------------ #
     def _drive_fast(
@@ -248,10 +356,7 @@ class Simulator:
             current_round = pending[0][0]
             active_rounds += 1
             if active_rounds > self._max_active_rounds:
-                raise SimulationError(
-                    f"exceeded {self._max_active_rounds} active rounds; "
-                    "protocol appears to be livelocked"
-                )
+                raise livelocked_error(self._max_active_rounds)
 
             # Pop every node awake in this round; recycle its inbox buffer.
             awake.clear()
@@ -264,10 +369,8 @@ class Simulator:
                 node_metrics = per_node[index]
                 node_metrics.awake_rounds += 1
                 if node_metrics.awake_rounds > max_awake:
-                    raise SimulationError(
-                        f"node {network.label_of(index)} exceeded "
-                        f"{max_awake} awake rounds"
-                    )
+                    raise awake_budget_error(network.label_of(index),
+                                             max_awake)
                 sends = call.sends
                 if not sends:
                     continue
@@ -330,10 +433,7 @@ class Simulator:
             current_round = pending[0][0]
             active_rounds += 1
             if active_rounds > self._max_active_rounds:
-                raise SimulationError(
-                    f"exceeded {self._max_active_rounds} active rounds; "
-                    "protocol appears to be livelocked"
-                )
+                raise livelocked_error(self._max_active_rounds)
 
             # Pop every node awake in this round.
             awake: Dict[int, WakeCall] = {}
@@ -347,10 +447,8 @@ class Simulator:
                 node_metrics = metrics.per_node[index]
                 node_metrics.record_awake()
                 if node_metrics.awake_rounds > self._max_awake_per_node:
-                    raise SimulationError(
-                        f"node {network.label_of(index)} exceeded "
-                        f"{self._max_awake_per_node} awake rounds"
-                    )
+                    raise awake_budget_error(network.label_of(index),
+                                             self._max_awake_per_node)
                 for port, payload in call.sends:
                     receiver = neighbor_of[index][port]
                     bits = estimate_bits(payload)
@@ -435,12 +533,15 @@ def run_protocol(
     message_bit_limit: Optional[int] = None,
     trace: bool = False,
     max_active_rounds: int = 5_000_000,
+    vectorized: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build the network and run *protocol* on *graph*.
 
     CSR-backed graphs (``repro.graphs.csr.CSRGraphView``) get the
     zero-copy ``CSRNetwork``; networkx graphs get the classic
     ``Network`` — the simulated bytes are identical either way.
+    *vectorized* selects the whole-round numpy engine for protocols that
+    opt in (see :class:`Simulator`); it can only change speed, never bytes.
     """
     network = build_network(graph)
     simulator = Simulator(
@@ -449,5 +550,6 @@ def run_protocol(
         message_bit_limit=message_bit_limit,
         trace=trace,
         max_active_rounds=max_active_rounds,
+        vectorized=vectorized,
     )
     return simulator.run(protocol, inputs=inputs, local_inputs=local_inputs)

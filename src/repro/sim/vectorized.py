@@ -1,0 +1,231 @@
+"""Numpy-vectorized whole-round engine for dense, everyone-awake phases.
+
+The third simulator engine (after the metered loop and the generator fast
+loop of :mod:`repro.sim.runner`): protocols whose rounds are *dense* —
+every undecided node awake every iteration, Luby-style — can compute whole
+rounds as array operations over the flat CSR adjacency instead of resuming
+one generator per node per round.
+
+A protocol opts in by exposing a ``vectorized_engine`` attribute on its
+factory (see ``repro.algorithms.luby``): a callable receiving one
+:class:`VectorizedRun` — the CSR arrays as numpy views, the per-node RNG
+streams, per-node metric arrays, and the same safety valves the other two
+engines enforce.  The engine engages only when tracing is off, no bit limit
+is set, and numpy is importable (exactly the gating discipline of the
+generator fast path); everything else falls back, so results can never
+depend on whether numpy is installed.
+
+Byte-identity contract (pinned by ``tests/test_runner_semantics.py`` and
+``tests/test_vectorized.py``): outputs, awake/round/message counts,
+``awake_by_label``, termination rounds and error messages are identical to
+both other engines.  In particular engines must draw from the *same*
+per-node ``spawn_rng`` streams the generator path would — the streams are
+spawned here in index order, exactly like ``Simulator.run`` does — and
+consume the same number of draws per node, so a run is bit-for-bit
+reproducible across all three engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.rng import SeedLike, spawn_rngs
+from repro.sim.metrics import NodeMetrics, RunMetrics
+
+try:  # gate, never require: the engine falls back when numpy is missing
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _numpy = None
+
+#: Sentinel for "never terminated" in the int64 terminated-round array.
+_NEVER = -(2**62)
+
+
+def numpy_or_none():
+    """Return the numpy module, or ``None`` when it is not installed."""
+    return _numpy
+
+
+class VectorizedRun:
+    """Mutable state handed to a protocol's vectorized engine.
+
+    Exposes the graph as flat int64 numpy arrays (zero-copy views over the
+    CSR buffers when the network is CSR-backed — including shared-memory
+    segments), one private RNG per node (spawned in index order, exactly
+    like the generator path), and the per-node metric arrays the engine
+    fills in.  Engines record rounds through :meth:`begin_round` /
+    :meth:`record_awake` so the livelock and awake-budget safety valves
+    fire with the same messages as the other two engines.
+    """
+
+    def __init__(
+        self,
+        network,
+        seed: SeedLike,
+        inputs: Dict[str, Any],
+        local_inputs: Dict[Any, Any],
+        max_active_rounds: int,
+        max_awake_per_node: int,
+    ) -> None:
+        np = _numpy
+        if np is None:  # pragma: no cover - callers gate on numpy_or_none()
+            raise RuntimeError("the vectorized engine requires numpy")
+        self.np = np
+        self.network = network
+        self.inputs = inputs
+        self.local_inputs = local_inputs
+        self.n = network.size
+        self.offsets, self.neighbors = _flat_adjacency(network, np)
+        self.degrees = self.offsets[1:] - self.offsets[:-1]
+        #: Graph labels in simulator index order (bulk lookup once; engines
+        #: fill outputs for thousands of nodes per round).
+        self.labels = network.labels()
+        # reduceat segment starts, restricted to nonzero-degree rows (a
+        # zero-length segment would make reduceat return the element *at*
+        # the offset instead of the identity) — cached, the engines call
+        # row_min/row_count several times per iteration.
+        self._nonempty = self.degrees > 0
+        self._starts = self.offsets[:-1][self._nonempty]
+        #: One private generator per node, spawned in index order — the same
+        #: derivation order ``Simulator.run`` uses, so streams are identical
+        #: (``spawn_rngs`` is the batched twin of per-index ``spawn_rng``).
+        self.rngs = spawn_rngs(seed, self.n)
+        self.awake_rounds = np.zeros(self.n, dtype=np.int64)
+        self.messages_sent = np.zeros(self.n, dtype=np.int64)
+        self.messages_received = np.zeros(self.n, dtype=np.int64)
+        self.terminated_round = np.full(self.n, _NEVER, dtype=np.int64)
+        #: Graph label -> protocol return value, inserted in termination
+        #: order (round order, then index order within a round) — the same
+        #: insertion order the generator engines produce.
+        self.outputs: Dict[Any, Any] = {}
+        self.active_rounds = 0
+        self.last_active_round: Optional[int] = None
+        self._max_active_rounds = max_active_rounds
+        self._max_awake_per_node = max_awake_per_node
+
+    # -- round bookkeeping + safety valves ------------------------------
+
+    def begin_round(self, round_index: int) -> None:
+        """Count one active round; trip the livelock valve like the loops."""
+        from repro.sim.runner import livelocked_error
+
+        self.active_rounds += 1
+        if self.active_rounds > self._max_active_rounds:
+            raise livelocked_error(self._max_active_rounds)
+        self.last_active_round = round_index
+
+    def record_awake(self, indices) -> None:
+        """Count one awake round for *indices* (ascending simulator order).
+
+        The awake-budget valve raises for the lowest offending index —
+        the same node the per-node loops (which iterate ascending) name.
+        """
+        from repro.sim.runner import awake_budget_error
+
+        np = self.np
+        updated = self.awake_rounds[indices] + 1
+        self.awake_rounds[indices] = updated
+        over = updated > self._max_awake_per_node
+        if over.any():
+            offender = int(indices[int(np.argmax(over))])
+            raise awake_budget_error(self.labels[offender],
+                                     self._max_awake_per_node)
+
+    # -- whole-round array primitives -----------------------------------
+
+    def row_min(self, values, empty):
+        """Per-node minimum of *values* over each CSR neighbour row.
+
+        ``values`` is indexed by node; rows with no neighbours read
+        *empty*.  Implemented with ``np.minimum.reduceat`` over the
+        offsets array; zero-length rows are masked out first because
+        ``reduceat`` would otherwise return the element *at* the offset
+        instead of the identity.
+        """
+        np = self.np
+        out = np.full(self.n, empty, dtype=np.asarray(values).dtype)
+        if self.neighbors.size == 0:
+            return out
+        out[self._nonempty] = np.minimum.reduceat(
+            values[self.neighbors], self._starts)
+        return out
+
+    def row_count(self, mask):
+        """Per-node count of neighbours for which *mask* is True."""
+        np = self.np
+        out = np.zeros(self.n, dtype=np.int64)
+        if self.neighbors.size == 0:
+            return out
+        gathered = mask[self.neighbors].astype(np.int64)
+        out[self._nonempty] = np.add.reduceat(gathered, self._starts)
+        return out
+
+    # -- result assembly -------------------------------------------------
+
+    def to_result(self):
+        """Package the filled-in state as a :class:`RunResult`."""
+        from repro.sim.runner import RunResult, missing_outputs_error
+
+        labels = self.labels
+        awake = self.awake_rounds.tolist()
+        sent = self.messages_sent.tolist()
+        received = self.messages_received.tolist()
+        terminated = self.terminated_round.tolist()
+        per_node: List[NodeMetrics] = [
+            NodeMetrics(
+                awake_rounds=a,
+                messages_sent=s,
+                messages_received=r,
+                terminated_round=(None if t == _NEVER else t),
+            )
+            for a, s, r, t in zip(awake, sent, received, terminated)
+        ]
+        metrics = RunMetrics(
+            per_node=per_node,
+            last_active_round=self.last_active_round,
+            active_rounds=self.active_rounds,
+            bits_metered=False,
+        )
+        awake_by_label = dict(zip(labels, awake))
+        missing = [label for label in labels if label not in self.outputs]
+        if missing:
+            raise missing_outputs_error(missing)
+        return RunResult(
+            outputs=self.outputs,
+            metrics=metrics,
+            awake_by_label=awake_by_label,
+            trace=None,
+        )
+
+
+def _flat_adjacency(network, np):
+    """Return ``(offsets, neighbors)`` int64 arrays for *network*.
+
+    CSR-backed networks hand out zero-copy ``np.frombuffer`` views over
+    their flat buffers (shared-memory segments included); adjacency-list
+    networks are flattened once.
+    """
+    tables = getattr(network, "csr_tables", lambda: None)()
+    if tables is not None:
+        offsets_words, neighbor_words, _ = tables
+        return (_int64_view(offsets_words, np), _int64_view(neighbor_words, np))
+    rows = network.neighbor_tables()
+    n = len(rows)
+    degrees = np.fromiter((len(row) for row in rows), dtype=np.int64, count=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    total = int(offsets[-1]) if n else 0
+    neighbors = np.fromiter(
+        (neighbor for row in rows for neighbor in row),
+        dtype=np.int64, count=total)
+    return offsets, neighbors
+
+
+def _int64_view(words, np):
+    """Zero-copy read-only int64 numpy view over a word buffer."""
+    view = memoryview(words)
+    if view.nbytes == 0:
+        return np.empty(0, dtype=np.int64)
+    array = np.frombuffer(view.cast("B"), dtype=np.int64)
+    array.flags.writeable = False
+    return array

@@ -187,6 +187,75 @@ class TestSerialisation:
 
 
 # --------------------------------------------------------------------------- #
+# Numpy fast paths (construction, packing, zero-copy array views)
+# --------------------------------------------------------------------------- #
+class TestNumpyPaths:
+    """The numpy construction/packing paths must be byte-identical to the
+    portable Python paths, and ``as_arrays()`` must be zero-copy and
+    read-only — the contract the vectorized engine and the graph
+    statistics fast paths rely on."""
+
+    def test_numpy_and_python_construction_agree(self, family_graph,
+                                                 monkeypatch):
+        import repro.graphs.csr as csr_module
+
+        if csr_module._numpy is None:
+            pytest.skip("numpy not installed")
+        with_numpy = CSRGraph.from_graph(family_graph).to_bytes()
+        monkeypatch.setattr(csr_module, "_numpy", None)
+        pure_python = CSRGraph.from_graph(family_graph).to_bytes()
+        assert with_numpy == pure_python
+
+    def test_pack_into_paths_agree(self, family_graph, monkeypatch):
+        import repro.graphs.csr as csr_module
+
+        if csr_module._numpy is None:
+            pytest.skip("numpy not installed")
+        csr = generators.to_csr(family_graph)
+        with_numpy = csr.to_bytes()
+        monkeypatch.setattr(csr_module, "_numpy", None)
+        assert csr.to_bytes() == with_numpy
+
+    def test_as_arrays_values_and_read_only(self, family_graph):
+        np = pytest.importorskip("numpy")
+        csr = generators.to_csr(family_graph)
+        offsets, neighbors, arrivals, labels = csr.as_arrays()
+        assert offsets.tolist() == list(csr.offsets)
+        assert neighbors.tolist() == list(csr.neighbors)
+        assert arrivals.tolist() == list(csr.arrivals)
+        assert labels.tolist() == list(csr.labels)
+        for arr in (offsets, neighbors, arrivals, labels):
+            assert arr.dtype == np.int64
+            assert arr.flags.writeable is False
+            if arr.size:
+                with pytest.raises(ValueError):
+                    arr[0] = 0
+
+    def test_as_arrays_is_zero_copy(self):
+        np = pytest.importorskip("numpy")
+        csr = generators.to_csr(generators.cycle_graph(6))
+        first = csr.as_arrays()
+        second = csr.as_arrays()
+        for a, b in zip(first, second):
+            assert np.shares_memory(a, b)
+
+    def test_as_arrays_survives_buffer_round_trip(self):
+        pytest.importorskip("numpy")
+        csr = generators.to_csr(generators.cycle_graph(6))
+        restored = CSRGraph.from_buffer(csr.to_bytes())
+        for mine, theirs in zip(csr.as_arrays(), restored.as_arrays()):
+            assert mine.tolist() == theirs.tolist()
+
+    def test_as_arrays_requires_numpy(self, monkeypatch):
+        import repro.graphs.csr as csr_module
+
+        csr = generators.to_csr(generators.cycle_graph(6))
+        monkeypatch.setattr(csr_module, "_numpy", None)
+        with pytest.raises(ConfigurationError, match="requires numpy"):
+            csr.as_arrays()
+
+
+# --------------------------------------------------------------------------- #
 # Shared-memory segment lifecycle
 # --------------------------------------------------------------------------- #
 @pytest.mark.skipif(not os.path.isdir("/dev/shm"),

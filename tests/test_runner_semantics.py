@@ -1,11 +1,13 @@
 """Round-semantics regression tests for the SLEEPING-CONGEST driver.
 
-The simulator has two round loops — the fast path (no trace, no bit limit)
-and the metered path (tracing and/or CONGEST accounting).  These tests pin
-the model semantics of paper Section 1.3 on *both* loops: messages to
-sleeping nodes are lost, the bit budget fires exactly at the limit, protocol
-violations (non-increasing rounds, out-of-range ports) are rejected, and the
-two loops agree on every count-based metric.
+The simulator has three round engines — the generator fast loop (no trace,
+no bit limit), the metered loop (tracing and/or CONGEST accounting), and
+the numpy whole-round engine for protocols that opt in (``luby``).  These
+tests pin the model semantics of paper Section 1.3 on all of them: messages
+to sleeping nodes are lost, the bit budget fires exactly at the limit,
+protocol violations (non-increasing rounds, out-of-range ports) are
+rejected, and every engine agrees on every count-based metric (the
+invariant: engine choice changes wall-clock, never bytes).
 """
 
 from __future__ import annotations
@@ -220,8 +222,10 @@ class TestPathEquivalence:
 
         graph = generators.gnp_graph(48, expected_degree=6, seed=2)
         inputs = {"max_iterations": 4096}
+        # vectorized=False pins the generator fast loop (luby would
+        # otherwise auto-dispatch to the numpy whole-round engine here).
         fast = run_protocol(graph, luby_protocol, inputs=inputs,
-                            seed=algorithm_seed)
+                            seed=algorithm_seed, vectorized=False)
         metered = run_protocol(graph, luby_protocol, inputs=inputs,
                                seed=algorithm_seed, trace=True,
                                message_bit_limit=10_000)
@@ -281,7 +285,7 @@ class TestCSRPathEquivalence:
             generators.gnp_graph(48, expected_degree=6, seed=2)).view()
         inputs = {"max_iterations": 4096}
         fast = run_protocol(csr, luby_protocol, inputs=inputs,
-                            seed=algorithm_seed)
+                            seed=algorithm_seed, vectorized=False)
         metered = run_protocol(csr, luby_protocol, inputs=inputs,
                                seed=algorithm_seed, trace=True,
                                message_bit_limit=10_000)
@@ -310,3 +314,47 @@ class TestCSRPathEquivalence:
         assert over_csr.outputs == over_nx.outputs
         assert over_csr.awake_by_label == over_nx.awake_by_label
         assert over_csr.metrics.summary() == over_nx.metrics.summary()
+
+
+class TestVectorizedEngineEquivalence:
+    """The numpy whole-round engine is the third interchangeable engine.
+
+    For a protocol that opts in (``luby``), all three engines must produce
+    the same outputs *in the same insertion order*, the same per-node
+    awake/message/termination counters and the same aggregate metrics —
+    byte identity, not statistical agreement.  (The engine's own unit and
+    property tests live in ``tests/test_vectorized.py``.)
+    """
+
+    @pytest.mark.parametrize("representation", ["nx", "csr"])
+    @pytest.mark.parametrize("algorithm_seed", [3, 4])
+    def test_all_three_engines_agree_byte_for_byte(
+            self, representation, algorithm_seed):
+        from repro.algorithms.luby import luby_protocol
+
+        graph = generators.gnp_graph(48, expected_degree=6, seed=2)
+        if representation == "csr":
+            graph = generators.to_csr(graph).view()
+        inputs = {"max_iterations": 4096}
+        fast = run_protocol(graph, luby_protocol, inputs=inputs,
+                            seed=algorithm_seed, vectorized=False)
+        vectorized = run_protocol(graph, luby_protocol, inputs=inputs,
+                                  seed=algorithm_seed, vectorized=True)
+        metered = run_protocol(graph, luby_protocol, inputs=inputs,
+                               seed=algorithm_seed, trace=True,
+                               message_bit_limit=10_000)
+
+        def essence(result):
+            per_node = [
+                (node.awake_rounds, node.messages_sent,
+                 node.messages_received, node.terminated_round)
+                for node in result.metrics.per_node
+            ]
+            return (result.outputs, list(result.outputs), per_node,
+                    result.awake_by_label, result.metrics.active_rounds,
+                    result.metrics.last_active_round)
+
+        assert essence(vectorized) == essence(fast)
+        assert essence(vectorized) == essence(metered)
+        assert vectorized.metrics.bits_metered is False
+        assert vectorized.metrics.max_message_bits is None
