@@ -110,7 +110,7 @@ class AwakeMISParameters:
         if head >= 1.0 and weights:
             weights = [w / (head + 1e-9) * 0.5 for w in weights]
             head = sum(weights)
-        probabilities = tuple(weights + [max(0.0, 1.0 - head)])
+        probabilities = (*weights, max(0.0, 1.0 - head))
         n_bound = max(8, math.ceil(6.0 * math.log(16.0 * n)))
         id_space = max(64, (n + 2) ** 3)
         phase_length = 1 + ldt_mis_round_budget(n_bound, id_space) + 4
@@ -144,7 +144,7 @@ class AwakeMISParameters:
             w = min(max(0.0, 1.0 - cumulative), 10.0 * (2 ** i) * log2n / n)
             weights.append(w)
             cumulative += w
-        probabilities = tuple(weights + [max(0.0, 1.0 - cumulative)])
+        probabilities = (*weights, max(0.0, 1.0 - cumulative))
         n_bound = max(8, math.ceil(6.0 * math.log(float(n) ** 4)))
         id_space = max(64, (n + 2) ** 3)
         phase_length = 1 + ldt_mis_round_budget(n_bound, id_space) + 4

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
@@ -91,7 +91,7 @@ def measure_shattering(
     graph: nx.Graph,
     seed: SeedLike = None,
     epsilon: float = 1.0 / 16.0,
-    classes: int = None,
+    classes: Optional[int] = None,
 ) -> ShatteringMeasurement:
     """Partition *graph* into ``2 * Delta`` classes and measure shattering.
 

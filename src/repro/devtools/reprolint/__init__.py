@@ -1,0 +1,26 @@
+"""repro-lint: an AST-based linter for this repository's determinism contracts.
+
+The architecture invariants in ROADMAP.md ("seeds derive at plan time",
+"cached graphs are read-only", "segments unlink exactly once", ...) are
+enforced here as lint rules with ``RPL###`` codes, so contract violations
+fail CI on the diff that introduces them instead of waiting for a runtime
+test to trip.  See ``python -m repro.devtools.reprolint --list-rules``.
+"""
+
+from .config import LintConfig, find_root, load_config
+from .diagnostics import Diagnostic
+from .engine import build_rules, lint_paths, lint_source
+from .registry import Rule, all_rule_classes, register
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "Rule",
+    "all_rule_classes",
+    "build_rules",
+    "find_root",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+]

@@ -1,0 +1,91 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``.
+
+    Returns ``None`` when the chain is rooted in anything other than a bare
+    name (a call result, a subscript, ...), because such receivers cannot be
+    resolved statically.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Map local aliases back to the qualified names they import.
+
+    ``import random as r`` makes ``r.randint`` resolve to ``random.randint``;
+    ``from random import Random as R`` makes ``R`` resolve to
+    ``random.Random``.  Only top-of-chain aliases are rewritten.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, chain: str) -> str:
+        """Rewrite the first segment of *chain* through the import table."""
+        head, sep, rest = chain.partition(".")
+        target = self._aliases.get(head)
+        if target is None:
+            return chain
+        return target + sep + rest
+
+
+def resolved_call_name(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    chain = attr_chain(call.func)
+    if chain is None:
+        return None
+    return imports.resolve(chain)
+
+
+def lock_guarded_ranges(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Line ranges covered by ``with <something lock-ish>:`` blocks.
+
+    A context expression counts as lock-ish when any identifier in its
+    attribute chain contains ``lock`` (``self._stats_lock``,
+    ``self.lock.acquire_timeout(...)``, a bare ``lock``).  This is a lexical
+    approximation: it cannot prove the *right* lock is held, only that the
+    write is not lock-free.
+    """
+    ranges: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            chain = attr_chain(expr) or ""
+            if any("lock" in part.lower() for part in chain.split(".")):
+                end = getattr(node, "end_lineno", None) or node.lineno
+                ranges.append((node.lineno, end))
+                break
+    return ranges
+
+
+def within_ranges(line: int, ranges: List[Tuple[int, int]]) -> bool:
+    return any(start <= line <= end for start, end in ranges)

@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.devtools.reprolint <paths>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .config import find_root, load_config
+from .engine import build_rules, lint_paths
+from .registry import all_rule_classes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for this repository: checks the "
+            "determinism contracts (RNG discipline, read-only cached graphs, "
+            "shared-memory ownership, single-writer telemetry, wall-clock "
+            "hygiene, framed-socket hygiene) at review time."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help=(
+            "repository root used for path-relative rule scoping and "
+            "pyproject.toml discovery (default: walk up from the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (overrides pyproject select)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.repro-lint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, rule_cls in sorted(all_rule_classes().items()):
+            print(f"{code} {rule_cls.name}: {rule_cls.summary}")
+        return 0
+    root = args.root if args.root is not None else find_root(Path(args.paths[0]))
+    config = load_config(root, use_pyproject=not args.no_config)
+    if args.select:
+        config.select = [code.strip().upper() for code in args.select.split(",") if code.strip()]
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    # Sanity-check the configuration before walking anything.
+    build_rules(config)
+    diagnostics = lint_paths([Path(path) for path in args.paths], config)
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        files = len({diag.path for diag in diagnostics})
+        print(f"repro-lint: {len(diagnostics)} finding(s) in {files} file(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Configuration: built-in defaults overridden by ``[tool.repro-lint]``.
+
+The pyproject section looks like::
+
+    [tool.repro-lint]
+    exclude = ["tests/lint_fixtures/**"]   # global path excludes
+    select = ["RPL001", "RPL002"]          # optional: run only these codes
+    disable = ["RPL005"]                   # optional: never run these codes
+
+    [tool.repro-lint.rules.RPL004]
+    exclude = ["src/repro/experiments/sketches/**"]  # extends rule defaults
+    # any other key overrides that rule's default_options entry
+
+``tomllib`` ships with Python 3.11+; on 3.10 (still in the CI test matrix) a
+minimal line-oriented parser handles the small TOML subset this section uses.
+"""
+
+from __future__ import annotations
+
+import ast as _ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+try:
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - Python 3.10
+    _toml = None
+
+
+@dataclass
+class LintConfig:
+    root: Path
+    exclude: List[str] = field(default_factory=list)
+    select: Optional[List[str]] = None
+    disable: List[str] = field(default_factory=list)
+    #: per-rule tables: code -> {"include": [...], "exclude": [...], <options>}
+    rules: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def rule_enabled(self, code: str) -> bool:
+        if code in self.disable:
+            return False
+        return self.select is None or code in self.select
+
+
+def _parse_toml_subset(text: str) -> Dict[str, Any]:
+    """Parse just enough TOML for ``[tool.repro-lint]``: string/bool/int
+    scalars and (possibly multi-line) arrays of strings under ``[section]``
+    headers.  Used only when :mod:`tomllib` is unavailable.
+    """
+    data: Dict[str, Any] = {}
+    table: Dict[str, Any] = data
+    pending_key: Optional[str] = None
+    pending_value = ""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if pending_key is not None:
+            pending_value += " " + line
+            if _balanced(pending_value):
+                table[pending_key] = _parse_value(pending_value)
+                pending_key = None
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line.strip("[]").strip()
+            table = data
+            for part in _split_table_name(name):
+                table = table.setdefault(part, {})
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if _balanced(value):
+            table[key] = _parse_value(value)
+        else:
+            pending_key, pending_value = key, value
+    return data
+
+
+def _split_table_name(name: str) -> List[str]:
+    # Handles dotted headers with quoted parts: tool."repro-lint".rules.RPL001
+    parts: List[str] = []
+    for piece in name.split("."):
+        parts.append(piece.strip().strip('"'))
+    return parts
+
+
+def _balanced(value: str) -> bool:
+    return value.count("[") == value.count("]")
+
+
+def _parse_value(value: str) -> Any:
+    value = value.strip()
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        # TOML scalar strings/ints/arrays-of-strings are valid Python literals.
+        return _ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        return value
+
+
+def _load_pyproject(path: Path) -> Dict[str, Any]:
+    text = path.read_text(encoding="utf-8")
+    if _toml is not None:
+        return _toml.loads(text)
+    return _parse_toml_subset(text)
+
+
+def find_root(start: Path) -> Path:
+    """Walk up from *start* to the nearest directory holding pyproject.toml."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def load_config(root: Path, use_pyproject: bool = True) -> LintConfig:
+    config = LintConfig(root=root)
+    pyproject = root / "pyproject.toml"
+    if not use_pyproject or not pyproject.is_file():
+        return config
+    data = _load_pyproject(pyproject)
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return config
+    config.exclude = list(section.get("exclude", []))
+    if "select" in section:
+        config.select = [str(code).upper() for code in section["select"]]
+    config.disable = [str(code).upper() for code in section.get("disable", [])]
+    rules = section.get("rules", {})
+    if isinstance(rules, dict):
+        for code, table in rules.items():
+            if isinstance(table, dict):
+                config.rules[str(code).upper()] = dict(table)
+    return config

@@ -1,0 +1,23 @@
+"""Diagnostic records produced by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation at a specific file position.
+
+    Ordering is (path, line, col, code) so sorted output is stable and
+    groups findings by file.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

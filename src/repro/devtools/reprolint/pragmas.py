@@ -1,0 +1,80 @@
+"""Inline suppression pragmas.
+
+Two forms are recognised, both in comments:
+
+``# repro-lint: disable=RPL001`` (or ``disable=RPL001,RPL004`` or
+``disable=all``) suppresses matching diagnostics *on the line carrying the
+comment*.
+
+``# repro-lint: disable-file=RPL001`` anywhere in the file suppresses the
+listed codes for the whole file.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class PragmaIndex:
+    """Suppressions extracted from one file's comments."""
+
+    #: line number -> set of codes (or {"all"}) disabled on that line
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes (or {"all"}) disabled for the entire file
+    file_disables: Set[str] = field(default_factory=set)
+
+    def suppresses(self, code: str, line: int) -> bool:
+        if "all" in self.file_disables or code in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line)
+        if not disabled:
+            return False
+        return "all" in disabled or code in disabled
+
+
+def _parse_codes(raw: str) -> Set[str]:
+    codes = set()
+    for piece in raw.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        codes.add("all" if piece.lower() == "all" else piece.upper())
+    return codes
+
+
+def collect_pragmas(source: str) -> PragmaIndex:
+    """Extract suppression pragmas from *source* via the tokenizer.
+
+    Tokenising (rather than regexing raw lines) keeps pragma-looking text
+    inside string literals from being treated as a real pragma.  Files the
+    tokenizer rejects fall back to an empty index — the parser will report
+    the syntax error through its own diagnostic.
+    """
+    index = PragmaIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if not match:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if not codes:
+            continue
+        if match.group("scope") == "disable-file":
+            index.file_disables |= codes
+        else:
+            index.line_disables.setdefault(token.start[0], set()).update(codes)
+    return index

@@ -1,0 +1,79 @@
+"""Rule base class and the global rule registry."""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, Iterator, List, Type
+
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import FileContext
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set ``code``/``name``/``summary``, declare their default path
+    scope via ``default_include``/``default_exclude`` (fnmatch globs over
+    posix-style paths relative to the repo root; a pattern without ``/`` also
+    matches the basename), and implement :meth:`check`.
+
+    ``default_options`` holds rule-specific knobs; ``pyproject.toml`` can
+    override any of them per rule.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    default_include: ClassVar[List[str]] = ["**/*.py"]
+    default_exclude: ClassVar[List[str]] = []
+    default_options: ClassVar[Dict[str, Any]] = {}
+
+    def __init__(self, include: List[str], exclude: List[str], options: Dict[str, Any]):
+        self.include = include
+        self.exclude = exclude
+        self.options = options
+
+    def applies_to(self, path: str) -> bool:
+        if not any(_match(path, pattern) for pattern in self.include):
+            return False
+        return not any(_match(path, pattern) for pattern in self.exclude)
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: "FileContext", node: Any, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def _match(path: str, pattern: str) -> bool:
+    if fnmatch.fnmatch(path, pattern):
+        return True
+    # Convenience: a bare filename pattern matches at any depth.
+    return "/" not in pattern and fnmatch.fnmatch(path.rsplit("/", 1)[-1], pattern)
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_cls* to the global registry."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rule_classes() -> Dict[str, Type[Rule]]:
+    # Importing the rules package populates the registry on first use.
+    from . import rules  # noqa: F401
+
+    return dict(_REGISTRY)

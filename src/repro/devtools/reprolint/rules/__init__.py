@@ -1,0 +1,10 @@
+"""Rule pack.  Importing this package registers every rule."""
+
+from . import (  # noqa: F401
+    rpl001_rng,
+    rpl002_graphs,
+    rpl003_shm,
+    rpl004_telemetry,
+    rpl005_wallclock,
+    rpl006_frames,
+)

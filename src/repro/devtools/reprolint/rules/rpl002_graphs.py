@@ -1,0 +1,128 @@
+"""RPL002 — read-only cached graphs.
+
+Graphs are built once (in ``repro.graphs``) and then shared: across thread
+slots via the per-worker LRU cache and across slot subprocesses via the
+shared-memory CSR segments.  Any in-place mutation by an algorithm, engine,
+or experiment module corrupts every other consumer of the cache entry, so
+consumers must treat graphs — and the CSR arrays backing them — as frozen.
+Construction-time mutation inside ``src/repro/graphs/`` is the whitelisted
+exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..astutils import attr_chain
+from ..diagnostics import Diagnostic
+from ..engine import FileContext
+from ..registry import Rule, register
+
+#: networkx in-place mutators: unambiguous graph writes on any receiver.
+_GRAPH_MUTATORS = frozenset(
+    {
+        "add_edge",
+        "add_edges_from",
+        "add_weighted_edges_from",
+        "add_node",
+        "add_nodes_from",
+        "remove_edge",
+        "remove_edges_from",
+        "remove_node",
+        "remove_nodes_from",
+        "clear",
+        "clear_edges",
+        "update",
+    }
+)
+
+#: The CSR array attributes cached graphs expose; item-assignment through
+#: any of these is a write into the shared copy.
+_CSR_ARRAYS = frozenset({"offsets", "neighbors", "arrivals", "labels"})
+
+#: `update`/`clear` also exist on dicts and sets everywhere; restrict those
+#: two to receivers that are recognisably graphs so the rule stays usable.
+_AMBIGUOUS_MUTATORS = frozenset({"clear", "update"})
+_GRAPHISH_NAMES = ("graph", "csr", "g")
+
+
+def _graphish(receiver: str) -> bool:
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return tail in _GRAPHISH_NAMES or "graph" in tail or "csr" in tail
+
+
+@register
+class ReadOnlyCachedGraphs(Rule):
+    code = "RPL002"
+    name = "read-only-cached-graphs"
+    summary = "no in-place mutation of (cached) graphs outside repro.graphs"
+    default_include: ClassVar = [
+        "src/repro/algorithms/**",
+        "src/repro/sim/**",
+        "src/repro/core/**",
+        "src/repro/ldt/**",
+        "src/repro/experiments/**",
+        "src/repro/analysis/**",
+    ]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                receiver = attr_chain(node.func.value) or ""
+                if attr in _GRAPH_MUTATORS and (
+                    attr not in _AMBIGUOUS_MUTATORS or _graphish(receiver)
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"`.{attr}()` mutates a graph in place; cached graphs are "
+                        "shared across slots and must stay read-only (build a new "
+                        "graph in repro.graphs instead)",
+                    )
+                elif attr == "setflags" and any(
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value
+                    for kw in node.keywords
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        "`setflags(write=True)` re-enables writes on a cached CSR "
+                        "array; consumers must not unfreeze shared buffers",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    diag = self._array_write(ctx, target)
+                    if diag is not None:
+                        yield diag
+                    chain = attr_chain(target) or ""
+                    if chain.endswith(".flags.writeable") and (
+                        isinstance(node.value, ast.Constant) and node.value.value
+                    ):
+                        yield self.diagnostic(
+                            ctx,
+                            target,
+                            "`.flags.writeable = True` re-enables writes on a "
+                            "cached CSR array; consumers must not unfreeze "
+                            "shared buffers",
+                        )
+            elif isinstance(node, ast.AugAssign):
+                diag = self._array_write(ctx, node.target)
+                if diag is not None:
+                    yield diag
+
+    def _array_write(self, ctx: FileContext, target: ast.expr):
+        if not isinstance(target, ast.Subscript):
+            return None
+        value = target.value
+        if isinstance(value, ast.Attribute) and value.attr in _CSR_ARRAYS:
+            return self.diagnostic(
+                ctx,
+                target,
+                f"item-assignment into `.{value.attr}` writes a shared CSR array; "
+                "cached graphs are read-only outside repro.graphs",
+            )
+        return None

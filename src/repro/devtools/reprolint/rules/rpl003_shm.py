@@ -1,0 +1,96 @@
+"""RPL003 — shared-memory ownership.
+
+The serving worker process owns every ``repro-csr`` segment: only
+``shm_cache.py`` may create segments (``SharedMemory(create=True)``) and
+only it may ``unlink()`` them (exactly once, at eviction or shutdown).
+Slot-side code attaches (``create=False``) and ``close()``s.  A second
+creator or a slot-side unlink produces either leaked segments or
+use-after-unlink crashes in sibling slots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional
+
+from ..astutils import attr_chain, resolved_call_name
+from ..diagnostics import Diagnostic
+from ..engine import FileContext
+from ..registry import Rule, register
+
+#: Receiver names that recognisably hold a shared-memory handle.
+_SEGMENTISH = ("shm", "segment", "seg", "shared_memory", "sharedmemory")
+
+
+def _segmentish(receiver: str) -> bool:
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return any(marker in tail for marker in _SEGMENTISH)
+
+
+@register
+class SharedMemoryOwnership(Rule):
+    code = "RPL003"
+    name = "shared-memory-ownership"
+    summary = "SharedMemory(create=True) and .unlink() only in shm_cache.py"
+    default_include: ClassVar = ["src/repro/**"]
+    default_exclude: ClassVar = ["src/repro/experiments/shm_cache.py"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            diag = self._check_create(ctx, node) or self._check_unlink(ctx, node)
+            if diag is not None:
+                yield diag
+
+    def _check_create(self, ctx: FileContext, node: ast.Call) -> Optional[Diagnostic]:
+        resolved = resolved_call_name(node, ctx.imports)
+        if resolved is None or resolved.rsplit(".", 1)[-1] != "SharedMemory":
+            return None
+        creates = any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ) or any(
+            isinstance(arg, ast.Constant) and arg.value is True for arg in node.args
+        )
+        if not creates:
+            return None
+        return self.diagnostic(
+            ctx,
+            node,
+            "`SharedMemory(create=True)` outside shm_cache.py: the serving "
+            "process owns segment creation; slot-side code may only attach",
+        )
+
+    def _check_unlink(self, ctx: FileContext, node: ast.Call) -> Optional[Diagnostic]:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "unlink":
+            receiver = attr_chain(node.func.value) or ""
+            resolved = ctx.imports.resolve(receiver) if receiver else ""
+            if resolved in ("os", "os.path") or receiver == "os":
+                if self._targets_dev_shm(node):
+                    return self.diagnostic(
+                        ctx,
+                        node,
+                        "`os.unlink` on a /dev/shm path outside shm_cache.py: "
+                        "segment reaping belongs to the owning cache",
+                    )
+                return None
+            if _segmentish(receiver):
+                return self.diagnostic(
+                    ctx,
+                    node,
+                    f"`{receiver}.unlink()` outside shm_cache.py: segments are "
+                    "unlinked exactly once by their owner; slot-side code only "
+                    "close()s",
+                )
+        return None
+
+    @staticmethod
+    def _targets_dev_shm(node: ast.Call) -> bool:
+        for arg in ast.walk(node):
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if "/dev/shm" in arg.value:
+                    return True
+        return False

@@ -1,0 +1,57 @@
+"""RPL005 — wall-clock / nondeterminism hygiene.
+
+``time.time()`` and ``datetime.now()`` are fine for *measuring* (telemetry
+timestamps, RTT math uses ``monotonic`` anyway) but must never feed seeds,
+hashes, cache keys, or task ordering — anything that changes bytes between
+runs.  Statically separating "measurement" from "decision" uses is
+undecidable, so the rule takes the repo's actual convention: production
+modules use ``time.monotonic()``/``perf_counter()`` for all timing, and the
+few legitimate wall-clock reads (log prefixes, artifact timestamps) carry an
+explicit ``# repro-lint: disable=RPL005`` pragma that documents intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..astutils import resolved_call_name
+from ..diagnostics import Diagnostic
+from ..engine import FileContext
+from ..registry import Rule, register
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockHygiene(Rule):
+    code = "RPL005"
+    name = "wall-clock-hygiene"
+    summary = (
+        "no time.time()/datetime.now() in production modules; use monotonic "
+        "clocks, or pragma the deliberate wall-clock reads"
+    )
+    default_include: ClassVar = ["src/repro/**"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolved_call_name(node, ctx.imports)
+            if resolved in _WALL_CLOCK:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"`{resolved}()` reads the wall clock; results and ordering "
+                    "must not depend on it — use time.monotonic()/perf_counter() "
+                    "for timing, or pragma a deliberate timestamp",
+                )

@@ -1,0 +1,67 @@
+"""RPL006 — unsafe-frame hygiene.
+
+All socket traffic is length-prefixed frames.  ``read_frame``/
+``_read_exactly`` in ``worker.py`` are the only code allowed to touch raw
+socket reads, because they are the only code that loops on short reads; a
+stray ``sock.recv()`` elsewhere silently truncates frames under load.  Bare
+``except:`` in the transport/worker path is flagged too — it has already
+hidden real teardown bugs by swallowing ``SystemExit``/``KeyboardInterrupt``
+in slot threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from ..astutils import attr_chain
+from ..diagnostics import Diagnostic
+from ..engine import FileContext
+from ..registry import Rule, register
+
+#: Receiver names that recognisably hold a socket / connection.
+_SOCKETISH = ("sock", "socket", "conn", "connection", "peer", "reader", "client")
+
+
+def _socketish(receiver: str) -> bool:
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return any(marker in tail for marker in _SOCKETISH)
+
+
+@register
+class UnsafeFrameHygiene(Rule):
+    code = "RPL006"
+    name = "unsafe-frame-hygiene"
+    summary = (
+        "no raw socket recv/read outside read_frame (worker.py); no bare "
+        "except in the transport path"
+    )
+    default_include: ClassVar = ["src/repro/**"]
+    default_exclude: ClassVar = ["src/repro/experiments/worker.py"]
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                receiver = attr_chain(node.func.value) or ""
+                if attr in ("recv", "recv_into", "recvfrom", "recvmsg"):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"raw `.{attr}()` outside read_frame: short reads truncate "
+                        "frames — go through worker.read_frame/_read_exactly",
+                    )
+                elif attr in ("read", "readline") and _socketish(receiver):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"raw `.{attr}()` on `{receiver}` outside read_frame: "
+                        "framed peers must be read via worker.read_frame",
+                    )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "bare `except:` swallows SystemExit/KeyboardInterrupt; catch "
+                    "Exception (or narrower) so teardown stays interruptible",
+                )

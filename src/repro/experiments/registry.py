@@ -116,7 +116,7 @@ def experiment_e1(scale: str = "default", seed: SeedLike = 1,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Theorem 13: awake complexity of Awake-MIS grows ~ log log n."""
     sweep = run_sweep(
@@ -147,7 +147,7 @@ def experiment_e2(scale: str = "default", seed: SeedLike = 2,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Theorem 13 comparison: Awake-MIS vs Luby / rank-greedy baselines."""
     sweep = run_sweep(
@@ -184,7 +184,7 @@ def experiment_e3(scale: str = "default", seed: SeedLike = 3,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Corollary 14: the round-efficient variant trades awake for rounds."""
     sweep = run_sweep(
@@ -219,7 +219,7 @@ def experiment_e4(scale: str = "default", seed: SeedLike = 4,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Lemma 10: VT-MIS has O(log I) awake vs the naive O(I)."""
     sweep = run_sweep(
@@ -262,7 +262,7 @@ def experiment_e5(scale: str = "default", seed: SeedLike = 5,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Lemma 11 / Corollary 12: LDT-MIS awake complexity on small components."""
     sizes = SCALE_SIZES[scale]
@@ -298,7 +298,7 @@ def experiment_e6(scale: str = "default", seed: SeedLike = 6,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Lemma 2: residual sparsity of randomized greedy."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
@@ -319,7 +319,7 @@ def experiment_e7(scale: str = "default", seed: SeedLike = 7,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Lemma 3: shattering under a random 2-Delta partition."""
     n = {"smoke": 512, "default": 2048, "full": 4096}[scale]
@@ -346,7 +346,7 @@ def experiment_e8(scale: str = "default", seed: SeedLike = 8,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Figures 1 and 2: the B([1,6]) worked example."""
     example = figure_example()
@@ -381,7 +381,7 @@ def experiment_e9(scale: str = "default", seed: SeedLike = 9,
                   store: Optional["ResultStore"] = None,
                   resume: bool = False,
                   backend: "BackendLike" = None,
-                  progress: "ProgressCallback" = None,
+                  progress: Optional["ProgressCallback"] = None,
                   ) -> ExperimentReport:
     """Node-averaged awake complexity: Awake-MIS vs Luby at larger n.
 
@@ -445,7 +445,7 @@ def run_experiment(experiment_id: str, scale: str = "default",
                    store: Optional["ResultStore"] = None,
                    resume: bool = False,
                    backend: BackendLike = None,
-                   progress: ProgressCallback = None) -> ExperimentReport:
+                   progress: Optional[ProgressCallback] = None) -> ExperimentReport:
     """Run one experiment by ID (``E1`` .. ``E9``).
 
     *jobs* and *backend* are forwarded to the sweep-backed experiments

@@ -53,7 +53,7 @@ class _AttachedSegment(shared_memory.SharedMemory):
     is released by process exit regardless, so swallow it.
     """
 
-    def close(self) -> None:  # noqa: D102 - see class docstring
+    def close(self) -> None:  # see class docstring
         with contextlib.suppress(BufferError):
             super().close()
 

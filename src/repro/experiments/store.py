@@ -58,7 +58,14 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Any, BinaryIO, Dict, Iterator, List,
+                    Optional, Sequence, Set, TextIO, Tuple, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.experiments.sweeps import SweepResult
+
+#: Anything the store constructors accept as a filesystem location.
+StorePath = Union[str, "os.PathLike[str]"]
 
 from repro.errors import ConfigurationError
 from repro.experiments.executor import SweepTask
@@ -94,11 +101,13 @@ def task_key(task: SweepTask,
 
 
 def _task_to_json(task: SweepTask) -> Dict[str, Any]:
-    return task.to_json()
+    data: Dict[str, Any] = task.to_json()
+    return data
 
 
 def _task_from_json(data: Dict[str, Any]) -> SweepTask:
-    return SweepTask.from_json(data)
+    task: SweepTask = SweepTask.from_json(data)
+    return task
 
 
 class ResultStore:
@@ -110,10 +119,10 @@ class ResultStore:
     :meth:`load_results` / :meth:`completed_keys` feed resume.
     """
 
-    def __init__(self, path: os.PathLike) -> None:
+    def __init__(self, path: StorePath) -> None:
         self.path = Path(path)
-        self._handle = None
-        self._read_handle = None
+        self._handle: Optional[TextIO] = None
+        self._read_handle: Optional[BinaryIO] = None
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -170,7 +179,9 @@ class ResultStore:
         if self._read_handle is None:
             self._read_handle = self.path.open("rb")
         self._read_handle.seek(offset)
-        return json.loads(self._read_handle.readline().decode("utf-8"))
+        record: Dict[str, Any] = json.loads(
+            self._read_handle.readline().decode("utf-8"))
+        return record
 
     def header(self) -> Optional[Dict[str, Any]]:
         """Return the header record, or None for a missing/empty store."""
@@ -198,7 +209,9 @@ class ResultStore:
 
     def result_at(self, offset: int) -> MISRunResult:
         """Restore the result stored at *offset* (from :meth:`result_offsets`)."""
-        return MISRunResult.from_record(self._record_at(offset)["result"])
+        result: MISRunResult = MISRunResult.from_record(
+            self._record_at(offset)["result"])
+        return result
 
     def load_results(self) -> Dict[str, MISRunResult]:
         """Map spec hash -> restored compact result for every intact record.
@@ -394,7 +407,7 @@ class ResultStore:
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: Any) -> None:
         self.close()
 
 
@@ -410,7 +423,7 @@ def _shard_number(path: Path) -> int:
     return int(digits)
 
 
-def discover_shards(base: os.PathLike) -> List[Path]:
+def discover_shards(base: StorePath) -> List[Path]:
     """Find the shard files of a sharded store, in shard order.
 
     Two layouts are recognised: *suffix* (``out.jsonl`` →
@@ -453,7 +466,7 @@ class ShardedResultStore:
     any, byte-identically.
     """
 
-    def __init__(self, base: os.PathLike,
+    def __init__(self, base: StorePath,
                  shards: Optional[int] = None) -> None:
         self.base = Path(base)
         if shards is not None and (not isinstance(shards, int)
@@ -487,7 +500,7 @@ class ShardedResultStore:
         the write shards and everything discovered, so records written
         under a larger historical shard count stay visible.
         """
-        if self._read_stores is not None:
+        if self._read_stores is not None and self._write_stores is not None:
             return self._read_stores, self._write_stores
         existing = discover_shards(self.base)
         if (not existing and self.base.is_file()
@@ -515,9 +528,11 @@ class ShardedResultStore:
                 read_paths.append(path)
         by_path: Dict[Path, ResultStore] = {p: ResultStore(p)
                                             for p in read_paths}
-        self._read_stores = [by_path[p] for p in read_paths]
-        self._write_stores = [by_path[p] for p in write_paths]
-        return self._read_stores, self._write_stores
+        read_stores = [by_path[p] for p in read_paths]
+        write_stores = [by_path[p] for p in write_paths]
+        self._read_stores = read_stores
+        self._write_stores = write_stores
+        return read_stores, write_stores
 
     @property
     def shard_paths(self) -> List[Path]:
@@ -629,11 +644,13 @@ class ShardedResultStore:
     def __enter__(self) -> "ShardedResultStore":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: Any) -> None:
         self.close()
 
 
-def open_store(path: os.PathLike, shards: Optional[int] = None):
+def open_store(
+    path: StorePath, shards: Optional[int] = None
+) -> Union[ResultStore, ShardedResultStore]:
     """Open the right store type for *path*.
 
     An explicit *shards* count always selects a :class:`ShardedResultStore`;
@@ -650,7 +667,7 @@ def open_store(path: os.PathLike, shards: Optional[int] = None):
     return ResultStore(base)
 
 
-def merge_stores(sources: List[os.PathLike], output: os.PathLike) -> int:
+def merge_stores(sources: Sequence[StorePath], output: StorePath) -> int:
     """Compact one or more stores into a single-file store at *output*.
 
     The ROADMAP-named compaction tooling for long-lived stores: a sweep
@@ -707,6 +724,9 @@ def merge_stores(sources: List[os.PathLike], output: os.PathLike) -> int:
                     f"{header_origin}; refusing to merge stores from "
                     "different sweeps"
                 )
+        # Every source proved it has a header (or raised) above, so the
+        # loop cannot leave `header` unset: sources is non-empty.
+        assert header is not None
         merged = ResultStore(output_path)
         try:
             merged._append_line(header)
@@ -727,7 +747,9 @@ def merge_stores(sources: List[os.PathLike], output: os.PathLike) -> int:
                 if not candidates:
                     break
                 _, position = min(candidates)
-                index, task, result = heads[position]  # type: ignore[misc]
+                head = heads[position]
+                assert head is not None  # candidates lists non-None heads only
+                index, task, result = head
                 heads[position] = next(cursors[position], None)
                 key = task_key(task)
                 if key in seen_keys:
@@ -749,7 +771,9 @@ def merge_stores(sources: List[os.PathLike], output: os.PathLike) -> int:
             store.close()
 
 
-def load_sweep_result(path: os.PathLike):
+def load_sweep_result(
+    path: Union[StorePath, ResultStore, ShardedResultStore],
+) -> Tuple[Dict[str, Any], "SweepResult"]:
     """Rebuild a :class:`~repro.experiments.sweeps.SweepResult` from a store.
 
     Records are folded in planned-grid order (their ``index``), which is the

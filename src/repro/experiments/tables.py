@@ -7,11 +7,11 @@ plus an optional CSV string for further processing.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def format_table(rows: Sequence[Dict[str, Any]],
-                 columns: Sequence[str] = None,
+                 columns: Optional[Sequence[str]] = None,
                  title: str = "") -> str:
     """Render *rows* (list of dicts) as a fixed-width text table."""
     rows = list(rows)
@@ -38,7 +38,7 @@ def format_table(rows: Sequence[Dict[str, Any]],
 
 
 def format_csv(rows: Sequence[Dict[str, Any]],
-               columns: Sequence[str] = None) -> str:
+               columns: Optional[Sequence[str]] = None) -> str:
     """Render *rows* as CSV text."""
     rows = list(rows)
     if not rows:

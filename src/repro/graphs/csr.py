@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -60,7 +60,7 @@ def _as_words(buffer: Any) -> memoryview:
     return view
 
 
-def _np_int64_view(words: memoryview, writable: bool = False):
+def _np_int64_view(words: memoryview, writable: bool = False) -> Any:
     """Zero-copy int64 numpy view over a word memoryview.
 
     ``np.frombuffer`` needs a byte-format view, so we cast through ``"B"``;
@@ -79,7 +79,7 @@ def _np_int64_view(words: memoryview, writable: bool = False):
     return array_view
 
 
-def _np_as_word_view(np_array) -> memoryview:
+def _np_as_word_view(np_array: Any) -> memoryview:
     """Expose an int64 numpy array as a ``"q"``-format memoryview.
 
     numpy int64 buffers report platform format ``"l"`` on LP64, which
@@ -262,7 +262,7 @@ class CSRGraph:
 
     # -- accessors ------------------------------------------------------
 
-    def as_arrays(self):
+    def as_arrays(self) -> Tuple[Any, Any, Any, Any]:
         """Zero-copy read-only numpy views ``(offsets, neighbors, arrivals,
         labels)`` over the CSR buffers.
 
@@ -300,7 +300,7 @@ class _NodeView:
 
     def __init__(self, labels: memoryview) -> None:
         self._labels = labels
-        self._members: Optional[frozenset] = None
+        self._members: Optional[frozenset] = None  # built lazily on first `in`
 
     def __call__(self) -> "_NodeView":
         return self
@@ -331,7 +331,7 @@ class _EdgeView:
     def __len__(self) -> int:
         return self._csr.m
 
-    def __iter__(self) -> Iterator[tuple]:
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
         csr = self._csr
         offsets, neighbors, labels = csr.offsets, csr.neighbors, csr.labels
         for u in range(csr.n):

@@ -10,7 +10,7 @@ source of randomness (as the SLEEPING-CONGEST model requires).
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import List, Optional, Set, Union
 
 SeedLike = Union[int, random.Random, None]
 
@@ -51,7 +51,7 @@ def spawn_rng(master: SeedLike, index: int) -> random.Random:
     return random.Random(derive_seed(master, index))
 
 
-def spawn_rngs(master: SeedLike, count: int) -> list:
+def spawn_rngs(master: SeedLike, count: int) -> List[random.Random]:
     """Spawn *count* generators for indices ``0..count-1`` under *master*.
 
     Bit-for-bit identical to ``[spawn_rng(master, i) for i in range(count)]``
@@ -91,7 +91,7 @@ def spawn_rngs(master: SeedLike, count: int) -> list:
     new = random.Random.__new__
     cls = random.Random
     c_seed = _random.Random.seed
-    rngs = []
+    rngs: List[random.Random] = []
     append = rngs.append
     for value in seeds.tolist():
         rng = new(cls)
@@ -103,7 +103,7 @@ def spawn_rngs(master: SeedLike, count: int) -> list:
 
 def random_unique_ids(
     count: int, id_space: int, rng: Optional[random.Random] = None
-) -> list:
+) -> List[int]:
     """Sample *count* distinct integer IDs from ``[1, id_space]``.
 
     The paper's algorithms assume unique IDs drawn from a range ``[1, I]``
@@ -118,7 +118,7 @@ def random_unique_ids(
     if id_space <= 4 * count:
         population = list(range(1, id_space + 1))
         return rng.sample(population, count)
-    chosen: set = set()
+    chosen: Set[int] = set()
     while len(chosen) < count:
         chosen.add(rng.randint(1, id_space))
     result = list(chosen)

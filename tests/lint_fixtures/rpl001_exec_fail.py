@@ -1,0 +1,7 @@
+# repro-lint-fixture: path=src/repro/experiments/schedulers.py
+# expect: RPL001:7
+"""Seed derivation from a task-execution module is flagged."""
+
+from repro.rng import derive_seed
+
+child = derive_seed(123, 4)

@@ -1,0 +1,17 @@
+# repro-lint-fixture: path=src/repro/algorithms/demo.py
+# expect: RPL001:9 RPL001:13 RPL001:17
+"""Module-level random calls and unseeded generators are flagged."""
+
+import random
+from random import Random
+
+
+degree_noise = random.uniform(0.0, 1.0)
+
+
+def shuffle_nodes(nodes):
+    random.shuffle(nodes)
+    return nodes
+
+
+rng = Random()

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=src/repro/algorithms/demo.py
+# expect: none
+"""Threading a seeded generator through is the supported pattern."""
+
+from repro.rng import make_rng
+
+
+def pick(items, seed):
+    rng = make_rng(seed)
+    return rng.choice(items)

@@ -1,0 +1,7 @@
+# repro-lint-fixture: path=src/repro/algorithms/demo.py
+# expect: none
+"""An inline pragma documents a deliberate module-level draw."""
+
+import random
+
+jitter = random.uniform(0.0, 1.0)  # repro-lint: disable=RPL001

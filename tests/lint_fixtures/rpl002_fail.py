@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=src/repro/sim/demo.py
+# expect: RPL002:8 RPL002:9 RPL002:10 RPL002:11 RPL002:12
+"""In-place mutation of a cached graph from a sim module."""
+
+
+def corrupt(graph, csr):
+    labels = csr.labels
+    graph.add_edge(1, 2)
+    graph.remove_node(3)
+    csr.offsets[0] = 99
+    csr.neighbors.setflags(write=True)
+    csr.arrivals.flags.writeable = True
+    return labels

@@ -1,0 +1,9 @@
+# repro-lint-fixture: path=src/repro/graphs/demo.py
+# expect: none
+"""Construction-time mutation inside repro.graphs is whitelisted."""
+
+
+def build(graph, csr):
+    graph.add_edge(1, 2)
+    csr.offsets[0] = 0
+    return graph

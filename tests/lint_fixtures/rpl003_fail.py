@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=src/repro/experiments/executor.py
+# expect: RPL003:9 RPL003:10
+"""Slot-side code may not create or unlink segments."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def rogue(name):
+    shm = SharedMemory(name=name, create=True, size=64)
+    shm.unlink()

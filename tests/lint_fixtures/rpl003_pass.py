@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=src/repro/experiments/executor.py
+# expect: none
+"""Attaching and closing is the slot-side contract."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach(name):
+    shm = SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()

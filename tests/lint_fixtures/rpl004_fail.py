@@ -1,0 +1,8 @@
+# repro-lint-fixture: path=src/repro/experiments/backends.py
+# expect: RPL004:7 RPL004:8
+"""Telemetry counters written outside their owning module."""
+
+
+def tamper(stats):
+    stats.frames_sent += 1
+    stats.bytes_sent = 0

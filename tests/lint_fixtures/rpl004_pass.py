@@ -1,0 +1,9 @@
+# repro-lint-fixture: path=src/repro/experiments/transports.py
+# expect: none
+"""Writes under the stats lock in the owning module are fine."""
+
+
+def note_restart(self):
+    with self._stats_lock:
+        self._restarts += 1
+        self._peak_window = max(self._peak_window, 4)

@@ -1,0 +1,7 @@
+# repro-lint-fixture: path=src/repro/experiments/transports.py
+# expect: RPL004:7
+"""The aggregate counters must be written under the stats lock."""
+
+
+def note_restart(self):
+    self._restarts += 1

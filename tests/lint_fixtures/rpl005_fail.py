@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=src/repro/experiments/demo.py
+# expect: RPL005:9 RPL005:10
+"""Wall-clock reads in production modules are flagged."""
+
+import time
+from datetime import datetime
+
+
+stamp = time.time()
+today = datetime.now()

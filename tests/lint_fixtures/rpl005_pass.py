@@ -1,0 +1,8 @@
+# repro-lint-fixture: path=src/repro/experiments/demo.py
+# expect: none
+"""Monotonic clocks are the supported timing source."""
+
+import time
+
+start = time.monotonic()
+elapsed = time.perf_counter() - start

@@ -1,0 +1,12 @@
+# repro-lint-fixture: path=src/repro/experiments/transports.py
+# expect: RPL006:7 RPL006:8 RPL006:11
+"""Raw socket reads and a bare except outside read_frame."""
+
+
+def drain(sock):
+    data = sock.recv(4096)
+    more = sock.read(4)
+    try:
+        return data + more
+    except:
+        return b""

@@ -1,0 +1,12 @@
+# repro-lint-fixture: path=src/repro/experiments/transports.py
+# expect: none
+"""Framed reads via worker.read_frame, narrow excepts."""
+
+from repro.experiments.worker import read_frame
+
+
+def drain(sock):
+    try:
+        return read_frame(sock)
+    except OSError:
+        return b""

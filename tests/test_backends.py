@@ -399,7 +399,7 @@ class TestAsyncCrashRecovery:
         backend = AsyncSubprocessBackend(jobs=1)
         with pytest.raises(ConfigurationError,
                            match="unknown graph family 'not-a-family'"):
-            list(backend.submit_tasks(good + [bad]))
+            list(backend.submit_tasks([*good, bad]))
 
     def test_task_exception_propagates_without_killing_the_sweep_worker(
             self):

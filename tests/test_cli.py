@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar, List
+
 import pytest
 
 from repro.cli import main
@@ -43,7 +45,7 @@ class TestCLI:
                 "--families", "gnp", "--repetitions", "1", "--seed", "3"]
         assert main(argv) == 0
         serial_out = capsys.readouterr().out
-        assert main(argv + ["--jobs", "2"]) == 0
+        assert main([*argv, "--jobs", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
 
@@ -82,7 +84,7 @@ class TestCLI:
                 "--families", "gnp", "--repetitions", "1", "--seed", "3"]
         assert main(argv) == 0
         default_out = capsys.readouterr().out
-        assert main(argv + ["--backend", backend, "--jobs", "2"]) == 0
+        assert main([*argv, "--backend", backend, "--jobs", "2"]) == 0
         assert capsys.readouterr().out == default_out
 
     @pytest.mark.parametrize("extra", [["--scheduler", "large-first"],
@@ -110,11 +112,11 @@ class TestCLI:
                 "--families", "gnp", "--repetitions", "1", "--seed", "3"]
         assert main(argv) == 0
         default_out = capsys.readouterr().out
-        assert main(argv + ["--backend", "socket",
+        assert main([*argv, "--backend", "socket",
                             "--workers", socket_workers]) == 0
         assert capsys.readouterr().out == default_out
         # --workers alone implies the socket transport.
-        assert main(argv + ["--workers", socket_workers]) == 0
+        assert main([*argv, "--workers", socket_workers]) == 0
         assert capsys.readouterr().out == default_out
 
     def test_unknown_scheduler_rejected(self, capsys):
@@ -167,7 +169,7 @@ class TestCLI:
                 "--families", "gnp", "--repetitions", "1", "--seed", "3"]
         assert main(argv) == 0
         default_out = capsys.readouterr().out
-        assert main(argv + ["--scheduler", "cost-model",
+        assert main([*argv, "--scheduler", "cost-model",
                             "--workers", multislot_socket_worker]) == 0
         assert capsys.readouterr().out == default_out
 
@@ -179,10 +181,10 @@ class TestCLI:
                 "--families", "gnp", "--repetitions", "2", "--seed", "3"]
         assert main(argv) == 0
         default_out = capsys.readouterr().out
-        assert main(argv + ["--workers", multislot_socket_worker,
+        assert main([*argv, "--workers", multislot_socket_worker,
                             "--window", "adaptive", "--max-batch", "8"]) == 0
         assert capsys.readouterr().out == default_out
-        assert main(argv + ["--workers", multislot_socket_worker,
+        assert main([*argv, "--workers", multislot_socket_worker,
                             "--window", "4"]) == 0
         assert capsys.readouterr().out == default_out
 
@@ -286,21 +288,22 @@ class TestCLIFamilyErrors:
 
 
 class TestCLIStore:
-    SWEEP = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
-             "--families", "gnp", "--repetitions", "1", "--seed", "3"]
+    SWEEP: ClassVar[List[str]] = [
+        "sweep", "--algorithms", "luby", "--sizes", "16", "24",
+        "--families", "gnp", "--repetitions", "1", "--seed", "3"]
 
     def test_output_resume_report_round_trip(self, tmp_path, capsys):
         path = str(tmp_path / "out.jsonl")
         assert main(self.SWEEP) == 0
         plain_out = capsys.readouterr().out
 
-        assert main(self.SWEEP + ["--output", path]) == 0
+        assert main([*self.SWEEP, "--output", path]) == 0
         stored_out = capsys.readouterr().out
         assert stored_out == plain_out
 
         # Resuming a complete store re-executes nothing and reprints the
         # same table.
-        assert main(self.SWEEP + ["--output", path, "--resume"]) == 0
+        assert main([*self.SWEEP, "--output", path, "--resume"]) == 0
         resumed_out = capsys.readouterr().out
         assert resumed_out == plain_out
 
@@ -314,14 +317,14 @@ class TestCLIStore:
 
     def test_resume_requires_output(self, capsys):
         with pytest.raises(SystemExit):
-            main(self.SWEEP + ["--resume"])
+            main([*self.SWEEP, "--resume"])
         assert "--resume requires --output" in capsys.readouterr().err
 
     def test_fresh_run_on_existing_store_errors(self, tmp_path, capsys):
         path = str(tmp_path / "out.jsonl")
-        assert main(self.SWEEP + ["--output", path]) == 0
+        assert main([*self.SWEEP, "--output", path]) == 0
         capsys.readouterr()
-        assert main(self.SWEEP + ["--output", path]) == 2
+        assert main([*self.SWEEP, "--output", path]) == 2
         assert "resume" in capsys.readouterr().err
 
     def test_report_missing_store_errors(self, tmp_path, capsys):
@@ -330,7 +333,7 @@ class TestCLIStore:
 
     def test_report_unknown_metric_errors_cleanly(self, tmp_path, capsys):
         path = str(tmp_path / "out.jsonl")
-        assert main(self.SWEEP + ["--output", path]) == 0
+        assert main([*self.SWEEP, "--output", path]) == 0
         capsys.readouterr()
         assert main(["report", path, "--metric", "awake_maxx"]) == 2
         err = capsys.readouterr().err
@@ -341,7 +344,7 @@ class TestCLIStore:
         import json
 
         path = tmp_path / "out.jsonl"
-        assert main(self.SWEEP + ["--output", str(path)]) == 0
+        assert main([*self.SWEEP, "--output", str(path)]) == 0
         capsys.readouterr()
         # Drop the last result record: the store is now missing one of the
         # two grid tasks the header promises.
@@ -357,7 +360,7 @@ class TestCLIStore:
     def test_report_rejects_grid_key_columns_as_metrics(self, tmp_path,
                                                         capsys):
         path = str(tmp_path / "out.jsonl")
-        assert main(self.SWEEP + ["--output", path]) == 0
+        assert main([*self.SWEEP, "--output", path]) == 0
         capsys.readouterr()
         for column in ("n", "runs"):
             assert main(["report", path, "--metric", column]) == 2
@@ -368,14 +371,14 @@ class TestCLIStore:
         assert main(self.SWEEP) == 0
         plain_out = capsys.readouterr().out
 
-        assert main(self.SWEEP + ["--output", path, "--shards", "2"]) == 0
+        assert main([*self.SWEEP, "--output", path, "--shards", "2"]) == 0
         assert capsys.readouterr().out == plain_out
         assert (tmp_path / "out.jsonl.shard-0").exists()
         assert (tmp_path / "out.jsonl.shard-1").exists()
         assert not (tmp_path / "out.jsonl").exists()
 
         # --resume sniffs the sharded layout without repeating --shards.
-        assert main(self.SWEEP + ["--output", path, "--resume"]) == 0
+        assert main([*self.SWEEP, "--output", path, "--resume"]) == 0
         assert capsys.readouterr().out == plain_out
 
         # report merges the shards from the base path.
@@ -387,18 +390,18 @@ class TestCLIStore:
 
     def test_shards_require_output(self, capsys):
         with pytest.raises(SystemExit):
-            main(self.SWEEP + ["--shards", "2"])
+            main([*self.SWEEP, "--shards", "2"])
         assert "--shards requires --output" in capsys.readouterr().err
 
     def test_invalid_shard_count_rejected(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
-            main(self.SWEEP + ["--output", str(tmp_path / "o.jsonl"),
+            main([*self.SWEEP, "--output", str(tmp_path / "o.jsonl"),
                                "--shards", "0"])
         assert "--shards must be >= 1" in capsys.readouterr().err
 
     def test_report_csv_stdout_and_file(self, tmp_path, capsys):
         path = str(tmp_path / "out.jsonl")
-        assert main(self.SWEEP + ["--output", path]) == 0
+        assert main([*self.SWEEP, "--output", path]) == 0
         capsys.readouterr()
 
         assert main(["report", path, "--csv", "-"]) == 0
@@ -420,7 +423,7 @@ class TestCLIStore:
                 "--output", path]
         assert main(argv) == 0
         first = capsys.readouterr().out
-        assert main(argv + ["--resume"]) == 0
+        assert main([*argv, "--resume"]) == 0
         assert capsys.readouterr().out == first
         assert main(["report", path]) == 0
         assert "awake_mis" in capsys.readouterr().out

@@ -63,7 +63,7 @@ class TestGenerators:
     def test_star_graph_shape(self):
         graph = generators.star_graph(9)
         degrees = sorted(d for _, d in graph.degree())
-        assert degrees == [1] * 8 + [8]
+        assert degrees == [*([1] * 8), 8]
 
     def test_complete_bipartite(self):
         graph = generators.complete_bipartite_graph(3, 4)

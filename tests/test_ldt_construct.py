@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import networkx as nx
 import pytest
@@ -19,8 +19,8 @@ from repro.rng import random_unique_ids
 from repro.sim import Network, run_protocol
 
 
-def run_construction(graph: nx.Graph, n_bound: int = None, seed: int = 1,
-                     id_space: int = None):
+def run_construction(graph: nx.Graph, n_bound: Optional[int] = None, seed: int = 1,
+                     id_space: Optional[int] = None):
     """Run ldt_construct on every node of *graph*; return (results, run)."""
     n = graph.number_of_nodes()
     if n_bound is None:

@@ -1,0 +1,263 @@
+"""Tests for the repro-lint invariant linter.
+
+Fixture snippets live under ``tests/lint_fixtures/``.  Each declares the
+virtual path it should be linted as (so path-scoped rules fire) and the
+exact ``CODE:line`` findings it expects::
+
+    # repro-lint-fixture: path=src/repro/sim/demo.py
+    # expect: RPL002:8 RPL002:10
+
+``# expect: none`` pins a clean snippet.  The suite also pins pragma
+behaviour, config loading, CLI exit codes, and — the actual gate — that the
+linter runs clean on the real tree.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.reprolint import (
+    LintConfig,
+    all_rule_classes,
+    lint_paths,
+    lint_source,
+    load_config,
+)
+from repro.devtools.reprolint.cli import main as reprolint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = Path(__file__).resolve().parent / "lint_fixtures"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
+
+_HEADER_RE = re.compile(r"#\s*repro-lint-fixture:\s*path=(\S+)")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(.+)")
+
+
+def parse_fixture(fixture: Path):
+    source = fixture.read_text(encoding="utf-8")
+    header = _HEADER_RE.search(source)
+    expect = _EXPECT_RE.search(source)
+    assert header, f"{fixture.name}: missing '# repro-lint-fixture: path=...' header"
+    assert expect, f"{fixture.name}: missing '# expect: ...' header"
+    raw = expect.group(1).strip()
+    if raw == "none":
+        expected = set()
+    else:
+        expected = set()
+        for item in raw.split():
+            code, _, line = item.partition(":")
+            expected.add((code, int(line)))
+    return source, header.group(1), expected
+
+
+def default_config() -> LintConfig:
+    return LintConfig(root=REPO_ROOT)
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.name)
+    def test_fixture_matches_expectations(self, fixture):
+        source, virtual_path, expected = parse_fixture(fixture)
+        diagnostics = lint_source(source, virtual_path, default_config())
+        found = {(diag.code, diag.line) for diag in diagnostics}
+        assert found == expected, (
+            f"{fixture.name} (as {virtual_path}): expected {sorted(expected)}, "
+            f"found {sorted(found)}: "
+            + "; ".join(diag.render() for diag in diagnostics)
+        )
+
+    def test_every_rule_has_fail_and_pass_fixtures(self):
+        names = [fixture.name for fixture in FIXTURES]
+        for code in all_rule_classes():
+            prefix = code.lower()
+            fails = [n for n in names if n.startswith(prefix) and n.endswith("_fail.py")]
+            passes = [n for n in names if n.startswith(prefix) and n.endswith("_pass.py")]
+            assert fails, f"rule {code} has no failing fixture"
+            assert passes, f"rule {code} has no passing fixture"
+
+    def test_fail_fixtures_expect_their_own_code(self):
+        # A fixture named rplNNN_*_fail.py must actually pin RPLNNN findings
+        # (guards against fixtures silently passing for the wrong reason).
+        for fixture in FIXTURES:
+            if not fixture.name.endswith("_fail.py"):
+                continue
+            code = fixture.name.split("_")[0].upper()
+            _, _, expected = parse_fixture(fixture)
+            assert any(found_code == code for found_code, _ in expected), (
+                f"{fixture.name} expects no {code} findings"
+            )
+
+
+class TestPragmas:
+    SOURCE = "import random\nvalue = random.random()\n"
+    PATH = "src/repro/algorithms/demo.py"
+
+    def lint(self, source):
+        return lint_source(source, self.PATH, default_config())
+
+    def test_violation_without_pragma_is_reported(self):
+        assert [d.code for d in self.lint(self.SOURCE)] == ["RPL001"]
+
+    def test_line_pragma_suppresses(self):
+        source = "import random\nvalue = random.random()  # repro-lint: disable=RPL001\n"
+        assert self.lint(source) == []
+
+    def test_line_pragma_with_wrong_code_does_not_suppress(self):
+        source = "import random\nvalue = random.random()  # repro-lint: disable=RPL005\n"
+        assert [d.code for d in self.lint(source)] == ["RPL001"]
+
+    def test_line_pragma_on_other_line_does_not_suppress(self):
+        source = (
+            "import random  # repro-lint: disable=RPL001\nvalue = random.random()\n"
+        )
+        assert [d.code for d in self.lint(source)] == ["RPL001"]
+
+    def test_disable_all_pragma(self):
+        source = "import random\nvalue = random.random()  # repro-lint: disable=all\n"
+        assert self.lint(source) == []
+
+    def test_file_pragma_suppresses_everywhere(self):
+        source = "# repro-lint: disable-file=RPL001\n" + self.SOURCE
+        assert self.lint(source) == []
+
+    def test_pragma_inside_string_is_inert(self):
+        source = (
+            "import random\n"
+            'note = "repro-lint: disable=RPL001"\n'
+            "value = random.random()\n"
+        )
+        assert [d.code for d in self.lint(source)] == ["RPL001"]
+
+
+class TestEngine:
+    def test_syntax_error_reports_parse_diagnostic(self):
+        diagnostics = lint_source("def broken(:\n", "src/repro/demo.py", default_config())
+        assert [d.code for d in diagnostics] == ["RPL900"]
+
+    def test_select_restricts_rules(self):
+        config = default_config()
+        config.select = ["RPL005"]
+        source = "import random, time\nvalue = random.random()\nstamp = time.time()\n"
+        diagnostics = lint_source(source, "src/repro/experiments/demo.py", config)
+        assert [d.code for d in diagnostics] == ["RPL005"]
+
+    def test_disable_drops_rule(self):
+        config = default_config()
+        config.disable = ["RPL001"]
+        source = "import random\nvalue = random.random()\n"
+        assert lint_source(source, "src/repro/algorithms/demo.py", config) == []
+
+    def test_rule_scoping_excludes_tests(self):
+        # RPL005 is scoped to src/repro/**: the same source under tests/ is fine.
+        source = "import time\nstamp = time.time()\n"
+        assert lint_source(source, "tests/test_demo.py", default_config()) == []
+
+    def test_real_tree_is_clean(self):
+        config = load_config(REPO_ROOT)
+        diagnostics = lint_paths(
+            [REPO_ROOT / name for name in ("src", "tests", "benchmarks", "examples")],
+            config,
+        )
+        assert diagnostics == [], "\n".join(d.render() for d in diagnostics)
+
+
+class TestConfigLoading:
+    def test_pyproject_rule_table_overrides(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\n"
+            'exclude = ["generated/**"]\n'
+            'disable = ["RPL006"]\n'
+            "\n"
+            "[tool.repro-lint.rules.RPL005]\n"
+            'exclude = ["src/repro/experiments/clockbound.py"]\n',
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.exclude == ["generated/**"]
+        assert config.disable == ["RPL006"]
+        assert config.rules["RPL005"]["exclude"] == [
+            "src/repro/experiments/clockbound.py"
+        ]
+        source = "import time\nstamp = time.time()\n"
+        # The per-rule exclude silences RPL005 for the named module...
+        assert lint_source(source, "src/repro/experiments/clockbound.py", config) == []
+        # ...but not for its siblings.
+        codes = [d.code for d in lint_source(source, "src/repro/experiments/demo.py", config)]
+        assert codes == ["RPL005"]
+        # And the disabled rule stays off.
+        bare = "def f(sock):\n    return sock.recv(4)\n"
+        assert lint_source(bare, "src/repro/experiments/demo.py", config) == []
+
+    def test_toml_subset_parser_matches_tomllib(self):
+        # The 3.10 fallback parser must agree with tomllib on the section
+        # shape this repo actually uses.
+        from repro.devtools.reprolint import config as config_module
+
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        parsed = config_module._parse_toml_subset(text)
+        section = parsed.get("tool", {}).get("repro-lint", {})
+        assert "exclude" in section
+        if config_module._toml is not None:
+            canonical = config_module._toml.loads(text)["tool"]["repro-lint"]
+            assert section == canonical
+
+
+class TestCli:
+    def _materialise(self, tmp_path, fixture_name):
+        source, virtual_path, _ = parse_fixture(FIXTURE_DIR / fixture_name)
+        target = tmp_path / virtual_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        return target
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        [f.name for f in FIXTURES if f.name.endswith("_fail.py")],
+    )
+    def test_violations_exit_nonzero(self, tmp_path, fixture_name, capsys):
+        self._materialise(tmp_path, fixture_name)
+        status = reprolint_main(["--root", str(tmp_path), str(tmp_path / "src")])
+        captured = capsys.readouterr()
+        assert status == 1, captured.out
+        code = fixture_name.split("_")[0].upper()
+        assert code in captured.out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        self._materialise(tmp_path, "rpl001_pass.py")
+        status = reprolint_main(["--root", str(tmp_path), str(tmp_path / "src")])
+        assert status == 0, capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        status = reprolint_main(["--root", str(tmp_path), str(tmp_path / "nope")])
+        capsys.readouterr()
+        assert status == 2
+
+    def test_select_flag(self, tmp_path, capsys):
+        self._materialise(tmp_path, "rpl001_fail.py")
+        status = reprolint_main(
+            ["--root", str(tmp_path), "--select", "RPL005", str(tmp_path / "src")]
+        )
+        assert status == 0, capsys.readouterr().out
+
+    def test_list_rules_names_every_code(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rule_classes():
+            assert code in out
+
+    def test_module_entry_point(self):
+        # The documented invocation: python -m repro.devtools.reprolint ...
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.reprolint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "RPL001" in result.stdout

@@ -519,7 +519,7 @@ class TestKillPointFuzz:
         lines = blob.split(b"\n")[:-1]
         victim = data.draw(st.integers(0, len(lines) - 2))
         junk = data.draw(st.sampled_from([b"garbage", b"{\"kind\":", b"\x00\xff"]))
-        damaged = lines[:victim] + [junk] + lines[victim + 1:]
+        damaged = [*lines[:victim], junk, *lines[victim + 1:]]
         path = tmp_path / "damaged.jsonl"
         path.write_bytes(b"\n".join(damaged) + b"\n")
         before = path.read_bytes()
@@ -655,7 +655,7 @@ class TestMergeStores:
         sweep_argv = ["sweep", "--algorithms", "luby", "--sizes", "16", "24",
                       "--families", "gnp", "--repetitions", "1",
                       "--seed", "3"]
-        assert main(sweep_argv + ["--output", base, "--shards", "2"]) == 0
+        assert main([*sweep_argv, "--output", base, "--shards", "2"]) == 0
         capsys.readouterr()
         merged = str(tmp_path / "merged.jsonl")
         assert main(["store", "merge", base, "--output", merged]) == 0
